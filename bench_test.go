@@ -1,0 +1,330 @@
+// Package sentinel3d_test hosts the benchmark harness that regenerates
+// every table and figure of the paper's evaluation. Each benchmark runs
+// one experiment end to end and reports its headline quantity as a custom
+// metric alongside the usual time/allocation numbers.
+//
+// Scale selection: benchmarks default to the quick scale; set
+// SENTINEL3D_SCALE=full for paper-fidelity wordline widths (much slower):
+//
+//	go test -bench=. -benchmem                   # quick
+//	SENTINEL3D_SCALE=full go test -bench=Fig13   # full fidelity
+package sentinel3d_test
+
+import (
+	"os"
+	"testing"
+
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("SENTINEL3D_SCALE") == "full" {
+		return experiments.Full()
+	}
+	return experiments.Quick()
+}
+
+func BenchmarkFig2ErrorVsOffset(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2ErrorVsOffset(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the valley depth of the sentinel voltage.
+		errs := r.Errors[3]
+		minV := errs[0]
+		for _, e := range errs {
+			if e < minV {
+				minV = e
+			}
+		}
+		b.ReportMetric(errs[0]/(minV+1), "edge/min_errors")
+	}
+}
+
+func BenchmarkFig3LayerRBER(b *testing.B) {
+	s := benchScale()
+	for _, kind := range []flash.Kind{flash.TLC, flash.QLC} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Fig3LayerRBER(s, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var worstDef, worstOpt float64
+				for _, row := range r.Rows {
+					if row.PE == 5000 && row.DefaultMax > worstDef {
+						worstDef = row.DefaultMax
+					}
+					if row.PE == 5000 && row.OptimalMax > worstOpt {
+						worstOpt = row.OptimalMax
+					}
+				}
+				b.ReportMetric(worstDef/worstOpt, "default/optimal_RBER")
+			}
+		})
+	}
+}
+
+func BenchmarkFig4TemperatureRBER(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig45Temperature(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msb := len(r.RoomRBER) - 1
+		b.ReportMetric(mathx.Mean(r.HotRBER[msb])/mathx.Mean(r.RoomRBER[msb]),
+			"hot/room_RBER")
+	}
+}
+
+func BenchmarkFig5TemperatureVopt(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig45Temperature(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// V8 optimum shift caused by one hot hour.
+		b.ReportMetric(mathx.Mean(r.RoomOpt[2])-mathx.Mean(r.HotOpt[2]),
+			"V8_hot_shift")
+	}
+}
+
+func BenchmarkFig6LayerVopt(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6LayerOptima(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := mathx.MinMax(r.Opt[7])
+		b.ReportMetric(hi-lo, "V8_layer_range")
+	}
+}
+
+func BenchmarkFig7ErrorMap(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7ErrorMap(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.UniformityChi2, "alongWL_chi2")
+		b.ReportMetric(r.WordlineVariation, "acrossWL_cv")
+	}
+}
+
+func BenchmarkFig8Correlation(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8Correlation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.StrongCount(0.8)), "strong_voltages")
+	}
+}
+
+func BenchmarkFig10InferenceFit(b *testing.B) {
+	s := benchScale()
+	for _, kind := range []flash.Kind{flash.TLC, flash.QLC} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Fig10InferenceFit(s, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.MeanAbsError(), "mean_abs_error")
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SentinelRatio(b *testing.B) {
+	s := benchScale()
+	for _, kind := range []flash.Kind{flash.TLC, flash.QLC} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Table1SentinelRatio(s, kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range r.Rows {
+					if row.Ratio == 0.002 { // the paper's chosen point
+						b.ReportMetric(row.Mean, "mean_offset_error@0.2%")
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig12StateChange(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12StateChange(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Case separation: NC(-8)/NC(+8) should be well above 1.
+		b.ReportMetric(r.Normalized[0]/r.Normalized[len(r.Normalized)-1],
+			"case2/case1_NC")
+	}
+}
+
+func BenchmarkFig13RetryCount(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13RetryCount(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, sentinel, reduction := r.Averages()
+		b.ReportMetric(table, "table_retries")
+		b.ReportMetric(sentinel, "sentinel_retries")
+		b.ReportMetric(reduction*100, "retry_reduction_%")
+	}
+}
+
+func BenchmarkFig14TraceLatency(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14TraceLatency(s, 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanReduction()*100, "read_latency_reduction_%")
+	}
+}
+
+func BenchmarkFig15InferenceAccuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ErrorComparison(s, flash.QLC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverallSuccess(experiments.MethodInferred)*100,
+			"inference_success_%")
+		b.ReportMetric(r.OverallSuccess(experiments.MethodCalibrated)*100,
+			"calibrated_success_%")
+	}
+}
+
+func BenchmarkFig16TLCErrors(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ErrorComparison(s, flash.TLC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := r.MeanErrors(experiments.MethodDefault)
+		c := r.MeanErrors(experiments.MethodCalibrated)
+		b.ReportMetric(mathx.Mean(d[1:])/(mathx.Mean(c[1:])+1), "default/calibrated_errors")
+	}
+}
+
+func BenchmarkFig17QLCErrors(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ErrorComparison(s, flash.QLC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := r.MeanErrors(experiments.MethodDefault)
+		c := r.MeanErrors(experiments.MethodCalibrated)
+		b.ReportMetric(mathx.Mean(d[1:])/(mathx.Mean(c[1:])+1), "default/calibrated_errors")
+	}
+}
+
+func BenchmarkFig18Tracking(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ErrorComparison(s, flash.QLC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, v := range []int{4, 8, 11, 15} {
+			if f := r.TrackingHurtFraction(v); f > worst {
+				worst = f
+			}
+		}
+		b.ReportMetric(worst*100, "tracking_hurt_wordlines_%")
+	}
+}
+
+func BenchmarkFig19LDPC(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig19LDPC(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, _ := r.SuccessRate(5000, 3, experiments.Fig19OPT)
+		sent, _ := r.SuccessRate(5000, 3, experiments.Fig19Sentinel)
+		b.ReportMetric(opt*100, "OPT_3bit_PE5000_%")
+		b.ReportMetric(sent*100, "sentinel_3bit_PE5000_%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblatePlacement(s, flash.QLC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TailMean, "tail_infer_error")
+		b.ReportMetric(r.SpreadMean, "spread_infer_error")
+	}
+}
+
+func BenchmarkAblationCalibrationDelta(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateCalibrationDelta(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Delta == 4 {
+				b.ReportMetric(row.MeanRetries, "retries@delta4")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationCombined(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateCombined(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.CombinedFirstOK*100, "combined_first_read_ok_%")
+	}
+}
+
+func BenchmarkAblationTempBands(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TempBandExperiment(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RoomTableErr, "room_table_error")
+		b.ReportMetric(r.BandTableErr, "band_table_error")
+	}
+}

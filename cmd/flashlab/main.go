@@ -1,0 +1,116 @@
+// Command flashlab is an interactive characterization bench for the
+// simulated 3D NAND chips: build a chip, apply wear and retention, and
+// inspect RBER, optimal read voltages and error-vs-offset sweeps — the
+// Section II methodology of the paper on demand.
+//
+// Examples:
+//
+//	flashlab -kind qlc -pe 3000 -hours 8760 -wordlines 8
+//	flashlab -kind tlc -pe 5000 -hours 8760 -temp 80 -sweep 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sentinel3d/internal/charlab"
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flashlab: ")
+	var (
+		kindStr   = flag.String("kind", "qlc", "cell technology: tlc or qlc")
+		pe        = flag.Int("pe", 1000, "program/erase cycles of wear")
+		hours     = flag.Float64("hours", 8760, "retention time in hours")
+		temp      = flag.Float64("temp", 25, "retention temperature in C")
+		wordlines = flag.Int("wordlines", 8, "number of wordlines to report")
+		sweepV    = flag.Int("sweep", 0, "also print the error-vs-offset sweep of this voltage (0 = none)")
+		seed      = flag.Uint64("seed", 1, "chip instance seed")
+		full      = flag.Bool("full", false, "use full physical wordline width (slow)")
+	)
+	flag.Parse()
+
+	var kind flash.Kind
+	switch strings.ToLower(*kindStr) {
+	case "tlc":
+		kind = flash.TLC
+	case "qlc":
+		kind = flash.QLC
+	default:
+		log.Fatalf("unknown kind %q (want tlc or qlc)", *kindStr)
+	}
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	cfg := scale.ChipConfig(kind, *seed)
+	chip, err := flash.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := mathx.NewRand(*seed ^ 0xf1a5)
+	n := *wordlines
+	if n > cfg.WordlinesPerBlock() {
+		n = cfg.WordlinesPerBlock()
+	}
+	wls := make([]int, n)
+	for i := range wls {
+		wls[i] = i * cfg.WordlinesPerBlock() / n
+		chip.ProgramRandom(0, wls[i], rng)
+	}
+	chip.Cycle(0, *pe)
+	chip.Age(0, *hours, *temp)
+
+	fmt.Printf("chip: %v, %d layers x %d WL/layer, %d cells/WL, seed %d\n",
+		kind, cfg.Layers, cfg.WordlinesPerLayer, cfg.CellsPerWordline, *seed)
+	fmt.Printf("stress: %d P/E cycles, %.0f h at %.0f C (%.0f effective room-temp hours)\n\n",
+		*pe, *hours, *temp, chip.Stress(0).EffRetentionHours)
+
+	lab := charlab.New(chip)
+	header := []string{"wordline", "layer"}
+	for p := 0; p < kind.Bits(); p++ {
+		header = append(header, chip.Coding().PageName(p)+" RBER")
+	}
+	header = append(header, "MSB RBER@opt", "Vsent opt")
+	var rows [][]string
+	sv := chip.Coding().SentinelVoltage()
+	for _, wl := range wls {
+		row := []string{fmt.Sprint(wl), fmt.Sprint(chip.LayerOf(wl))}
+		for p := 0; p < kind.Bits(); p++ {
+			row = append(row, fmt.Sprintf("%.3g", lab.PageRBER(0, wl, p, nil)))
+		}
+		opt := lab.OptimalOffsets(0, wl)
+		row = append(row,
+			fmt.Sprintf("%.3g", lab.PageRBER(0, wl, kind.Bits()-1, opt)),
+			fmt.Sprintf("%.1f", opt.Get(sv)))
+		rows = append(rows, row)
+	}
+	fmt.Print(experiments.Table(header, rows))
+
+	if *sweepV > 0 {
+		if *sweepV > chip.Coding().NumVoltages() {
+			log.Fatalf("voltage V%d out of range (max V%d)",
+				*sweepV, chip.Coding().NumVoltages())
+		}
+		fmt.Printf("\nerror-vs-offset sweep of V%d on wordline %d:\n", *sweepV, wls[0])
+		offs, errs := lab.SweepCurve(0, wls[0], *sweepV)
+		var b strings.Builder
+		_, hi := mathx.MinMax(errs)
+		for i, o := range offs {
+			if int(o)%4 != 0 {
+				continue
+			}
+			bar := int(errs[i] / (hi + 1) * 60)
+			fmt.Fprintf(&b, "%6.0f %7.0f %s\n", o, errs[i], strings.Repeat("#", bar))
+		}
+		fmt.Print(b.String())
+	}
+	os.Exit(0)
+}

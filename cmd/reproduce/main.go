@@ -1,0 +1,145 @@
+// Command reproduce runs the paper's tables and figures on the simulated
+// chips and prints the results as text tables.
+//
+// Usage:
+//
+//	reproduce -exp fig13              # one experiment at quick scale
+//	reproduce -exp all -scale full    # the whole evaluation, full fidelity
+//
+// Experiment ids: fig2 fig3 fig45 fig6 fig7 fig8 fig10 table1 fig12 fig13
+// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	var (
+		expID    = flag.String("exp", "all", "experiment id (fig2..fig19, table1, ablations, all)")
+		scaleStr = flag.String("scale", "quick", "quick or full")
+		kindStr  = flag.String("kind", "both", "tlc, qlc or both (where applicable)")
+		requests = flag.Int("requests", 6000, "trace requests per workload (fig14)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleStr {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		log.Fatalf("unknown scale %q", *scaleStr)
+	}
+	kinds := []flash.Kind{flash.TLC, flash.QLC}
+	switch strings.ToLower(*kindStr) {
+	case "tlc":
+		kinds = []flash.Kind{flash.TLC}
+	case "qlc":
+		kinds = []flash.Kind{flash.QLC}
+	case "both":
+	default:
+		log.Fatalf("unknown kind %q", *kindStr)
+	}
+
+	run := func(id string, fn func() (renderer, error)) {
+		start := time.Now()
+		r, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("== %s (%s scale, %.1fs) ==\n%s\n",
+			id, scale.Name, time.Since(start).Seconds(), r.Render())
+	}
+
+	all := *expID == "all"
+	want := func(id string) bool { return all || *expID == id }
+
+	if want("fig2") {
+		run("fig2", func() (renderer, error) { return experiments.Fig2ErrorVsOffset(scale) })
+	}
+	if want("fig3") {
+		for _, k := range kinds {
+			k := k
+			run("fig3/"+k.String(), func() (renderer, error) {
+				return experiments.Fig3LayerRBER(scale, k)
+			})
+		}
+	}
+	if want("fig45") || want("fig4") || want("fig5") {
+		run("fig4+fig5", func() (renderer, error) { return experiments.Fig45Temperature(scale) })
+	}
+	if want("fig6") {
+		run("fig6", func() (renderer, error) { return experiments.Fig6LayerOptima(scale) })
+	}
+	if want("fig7") {
+		run("fig7", func() (renderer, error) { return experiments.Fig7ErrorMap(scale) })
+	}
+	if want("fig8") {
+		run("fig8", func() (renderer, error) { return experiments.Fig8Correlation(scale) })
+	}
+	if want("fig10") {
+		for _, k := range kinds {
+			k := k
+			run("fig10/"+k.String(), func() (renderer, error) {
+				return experiments.Fig10InferenceFit(scale, k)
+			})
+		}
+	}
+	if want("table1") {
+		for _, k := range kinds {
+			k := k
+			run("table1/"+k.String(), func() (renderer, error) {
+				return experiments.Table1SentinelRatio(scale, k)
+			})
+		}
+	}
+	if want("fig12") {
+		run("fig12", func() (renderer, error) { return experiments.Fig12StateChange(scale) })
+	}
+	if want("fig13") {
+		run("fig13", func() (renderer, error) { return experiments.Fig13RetryCount(scale) })
+	}
+	if want("fig14") {
+		run("fig14", func() (renderer, error) {
+			return experiments.Fig14TraceLatency(scale, *requests)
+		})
+	}
+	if want("fig15") || want("errcomp") || want("fig16") || want("fig17") || want("fig18") {
+		for _, k := range kinds {
+			k := k
+			run("figs15-18/"+k.String(), func() (renderer, error) {
+				return experiments.ErrorComparison(scale, k)
+			})
+		}
+	}
+	if want("fig19") {
+		run("fig19", func() (renderer, error) { return experiments.Fig19LDPC(scale) })
+	}
+	if want("ablations") {
+		run("ablation/placement", func() (renderer, error) {
+			return experiments.AblatePlacement(scale, flash.QLC)
+		})
+		run("ablation/tempbands", func() (renderer, error) {
+			return experiments.TempBandExperiment(scale)
+		})
+		run("ablation/delta", func() (renderer, error) {
+			return experiments.AblateCalibrationDelta(scale)
+		})
+		run("ablation/combined", func() (renderer, error) {
+			return experiments.AblateCombined(scale)
+		})
+	}
+}

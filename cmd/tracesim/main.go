@@ -1,0 +1,157 @@
+// Command tracesim replays block I/O traces against the SSD simulator,
+// comparing read latency under the current-flash retry baseline and the
+// sentinel policy (the paper's Figure 14 pipeline, usable with either the
+// built-in synthetic MSR-like workloads or a real MSR-format CSV file).
+//
+// Examples:
+//
+//	tracesim -workload hm_0 -requests 20000
+//	tracesim -trace volume.csv
+//	tracesim -workload all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/retry"
+	"sentinel3d/internal/ssdsim"
+	"sentinel3d/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracesim: ")
+	var (
+		workload  = flag.String("workload", "hm_0", "built-in workload name or 'all'")
+		traceFile = flag.String("trace", "", "MSR-format CSV trace file (overrides -workload)")
+		requests  = flag.Int("requests", 10000, "requests to generate per workload")
+		pe        = flag.Int("pe", 5000, "chip wear before the run")
+		full      = flag.Bool("full", false, "use full physical wordline width for retry sampling (slow)")
+	)
+	flag.Parse()
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+
+	// Chip-level retry distributions for both policies.
+	model, err := scale.TrainModel(flash.TLC, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := scale.ChipConfig(flash.TLC, 2)
+	eng, err := scale.Engine(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := scale.BuildEvalChip(flash.TLC, 2, eng, *pe, physics.YearHours)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := scale.Controller(chip, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wls []int
+	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
+		wls = append(wls, wl)
+	}
+	base, err := ssdsim.BuildSampler(ctl, retry.NewDefaultTable(chip, 2), 0, wls, 3, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent, err := ssdsim.BuildSampler(ctl, retry.NewSentinelPolicy(eng), 0, wls, 3, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f\n\n",
+		base.MeanRetries(2), sent.MeanRetries(2))
+
+	simCfg := ssdsim.DefaultConfig()
+	simCfg.Geo = ftl.Geometry{
+		Channels: 4, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+
+	var workloads []struct {
+		name string
+		reqs []trace.Request
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs, err := trace.ParseMSR(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, struct {
+			name string
+			reqs []trace.Request
+		}{*traceFile, reqs})
+	} else {
+		specs := trace.MSRWorkloads()
+		if *workload != "all" {
+			spec, err := trace.WorkloadByName(*workload)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs = []trace.WorkloadSpec{spec}
+		}
+		for _, spec := range specs {
+			spec.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
+			reqs, err := trace.Generate(spec, *requests, mathx.Mix(7, uint64(len(spec.Name))))
+			if err != nil {
+				log.Fatal(err)
+			}
+			workloads = append(workloads, struct {
+				name string
+				reqs []trace.Request
+			}{spec.Name, reqs})
+		}
+	}
+
+	header := []string{"workload", "reads", "base µs", "sentinel µs", "reduction",
+		"base p99", "sent p99"}
+	var rows [][]string
+	for _, w := range workloads {
+		run := func(s ssdsim.RetrySampler) *ssdsim.Report {
+			sim, err := ssdsim.New(simCfg, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sim.Precondition(w.reqs); err != nil {
+				log.Fatal(err)
+			}
+			rep, err := sim.Run(w.reqs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return rep
+		}
+		b := run(base)
+		s := run(sent)
+		red := 0.0
+		if b.MeanReadUS > 0 {
+			red = 1 - s.MeanReadUS/b.MeanReadUS
+		}
+		rows = append(rows, []string{
+			w.name, fmt.Sprint(b.Reads),
+			fmt.Sprintf("%.0f", b.MeanReadUS), fmt.Sprintf("%.0f", s.MeanReadUS),
+			experiments.Pct(red),
+			fmt.Sprintf("%.0f", b.P99ReadUS), fmt.Sprintf("%.0f", s.P99ReadUS),
+		})
+	}
+	fmt.Print(experiments.Table(header, rows))
+}

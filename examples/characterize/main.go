@@ -1,0 +1,44 @@
+// Characterize reproduces the paper's Section II methodology on one
+// simulated QLC chip: RBER and optimal read voltages across layers,
+// temperature acceleration, error-position locality, and the correlation
+// between per-voltage optima that justifies the sentinel voltage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := experiments.Quick()
+
+	fig3, err := experiments.Fig3LayerRBER(scale, flash.QLC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig3.Render())
+
+	fig45, err := experiments.Fig45Temperature(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig45.Render())
+
+	fig7, err := experiments.Fig7ErrorMap(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig7.Render())
+
+	fig8, err := experiments.Fig8Correlation(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig8.Render())
+	fmt.Printf("strongly correlated voltages (|r| >= 0.8, excluding V1): %d of 14\n",
+		fig8.StrongCount(0.8))
+}

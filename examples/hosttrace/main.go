@@ -1,0 +1,94 @@
+// Hosttrace replays a synthetic MSR-like server workload through the
+// trace-driven SSD simulator twice — once with the current-flash retry
+// distribution, once with the sentinel policy's — and reports the
+// end-to-end read-latency difference (the paper's Figure 14 pipeline for
+// one workload).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/retry"
+	"sentinel3d/internal/ssdsim"
+	"sentinel3d/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := experiments.Quick()
+
+	// Chip-level retry behaviour under both policies.
+	model, err := scale.TrainModel(flash.TLC, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := scale.ChipConfig(flash.TLC, 5)
+	eng, err := scale.Engine(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := scale.BuildEvalChip(flash.TLC, 5, eng, 5000, physics.YearHours)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := scale.Controller(chip, 15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wls []int
+	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
+		wls = append(wls, wl)
+	}
+	base, err := ssdsim.BuildSampler(ctl, retry.NewDefaultTable(chip, 2), 0, wls, 3, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sent, err := ssdsim.BuildSampler(ctl, retry.NewSentinelPolicy(eng), 0, wls, 3, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload: the MSR hm_0 (hardware-monitor volume) stand-in.
+	spec, err := trace.WorkloadByName("hm_0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	simCfg := ssdsim.DefaultConfig()
+	simCfg.Geo = ftl.Geometry{
+		Channels: 4, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+	spec.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
+	reqs, err := trace.Generate(spec, 10000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := trace.Summarize(reqs)
+	fmt.Printf("workload %s: %d requests, %.0f%% reads, %.1f pages/request\n\n",
+		spec.Name, st.Requests, st.ReadFrac*100, st.AvgPages)
+
+	run := func(name string, sampler ssdsim.RetrySampler) *ssdsim.Report {
+		sim, err := ssdsim.New(simCfg, sampler)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Precondition(reqs); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sim.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s mean read %6.0f µs   p95 %6.0f   p99 %6.0f   retries %d\n",
+			name, rep.MeanReadUS, rep.P95ReadUS, rep.P99ReadUS, rep.TotalRetries)
+		return rep
+	}
+	b := run("current flash", base)
+	s := run("sentinel", sent)
+	fmt.Printf("\nread-latency reduction: %.0f%%\n", 100*(1-s.MeanReadUS/b.MeanReadUS))
+}

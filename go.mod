@@ -1,0 +1,3 @@
+module sentinel3d
+
+go 1.22

@@ -1,0 +1,385 @@
+// Package charlab is the characterization laboratory: it reproduces the
+// measurement methodology of the paper's Section II on simulated chips —
+// offset sweeps to locate ground-truth optimal read voltages, per-layer
+// and per-wordline RBER scans, bit-error position maps, and the
+// correlation statistics between per-voltage optima that motivate the
+// sentinel-voltage design.
+//
+// Everything here corresponds to what the authors did on the YEESTOR
+// tester with known data patterns; none of it is available to the runtime
+// read path (that is the sentinel package's job).
+package charlab
+
+import (
+	"fmt"
+
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+// Lab wraps a chip with sweep settings.
+type Lab struct {
+	Chip *flash.Chip
+
+	// SweepLo, SweepHi and SweepStep define the offset grid used to find
+	// optimal voltages, in normalized units.
+	SweepLo, SweepHi, SweepStep float64
+
+	// AverageReads is the number of independent reads averaged per sweep
+	// (reduces sensing-noise jitter in the located optimum).
+	AverageReads int
+
+	// Seed drives the read-noise seeds of the lab's measurements.
+	Seed uint64
+}
+
+// New returns a Lab with the default sweep grid (-60..+30, step 1, two
+// averaged reads).
+func New(chip *flash.Chip) *Lab {
+	return &Lab{
+		Chip:         chip,
+		SweepLo:      -60,
+		SweepHi:      30,
+		SweepStep:    1,
+		AverageReads: 2,
+		Seed:         0x1ab5eed,
+	}
+}
+
+// Grid returns the lab's offset grid in ascending order.
+func (l *Lab) Grid() []float64 {
+	var out []float64
+	for o := l.SweepLo; o <= l.SweepHi+1e-9; o += l.SweepStep {
+		out = append(out, o)
+	}
+	return out
+}
+
+func (l *Lab) readSeed(b, wl, rep int) uint64 {
+	return mathx.Mix4(l.Seed, uint64(b), uint64(wl), uint64(rep))
+}
+
+// SweepCurve returns the offset grid and the total error count of
+// voltage v at each offset on wordline (b, wl), averaged over
+// AverageReads reads. This is the paper's Figure 2 curve.
+func (l *Lab) SweepCurve(b, wl, v int) (offs []float64, errs []float64) {
+	offs = l.Grid()
+	errs = make([]float64, len(offs))
+	for rep := 0; rep < l.AverageReads; rep++ {
+		ups, downs := l.Chip.SweepVoltageErrors(b, wl, v, offs, l.readSeed(b, wl, rep))
+		for i := range errs {
+			errs[i] += float64(ups[i] + downs[i])
+		}
+	}
+	for i := range errs {
+		errs[i] /= float64(l.AverageReads)
+	}
+	return offs, errs
+}
+
+// OptimalOffsets locates the ground-truth optimal offset of every read
+// voltage on wordline (b, wl) by exhaustive sweep, exactly as a tester
+// would.
+func (l *Lab) OptimalOffsets(b, wl int) flash.Offsets {
+	offs := l.Grid()
+	nv := l.Chip.Coding().NumVoltages()
+	acc := make([][]float64, nv)
+	for v := 0; v < nv; v++ {
+		acc[v] = make([]float64, len(offs))
+	}
+	for rep := 0; rep < l.AverageReads; rep++ {
+		rows := l.Chip.SweepAllVoltages(b, wl, offs, l.readSeed(b, wl, rep))
+		for v := 0; v < nv; v++ {
+			for i, e := range rows[v] {
+				acc[v][i] += float64(e)
+			}
+		}
+	}
+	out := flash.ZeroOffsets(nv)
+	for v := 0; v < nv; v++ {
+		out[v] = refineMinimum(offs, acc[v])
+	}
+	return out
+}
+
+// refineMinimum locates the valley floor of an error-count curve: it finds
+// the grid argmin, then fits a quadratic to a window around it and takes
+// the parabola's vertex. This suppresses the counting noise that would
+// otherwise jitter the located optimum by several grid steps in shallow
+// valleys (small populations near high boundaries).
+func refineMinimum(offs, errs []float64) float64 {
+	minI := 0
+	for i, e := range errs {
+		if e < errs[minI] {
+			minI = i
+		}
+	}
+	const window = 6
+	lo := minI - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := minI + window + 1
+	if hi > len(offs) {
+		hi = len(offs)
+	}
+	if hi-lo < 5 {
+		return offs[minI]
+	}
+	fit, err := mathx.PolyFit(offs[lo:hi], errs[lo:hi], 2)
+	if err != nil || len(fit.Coef) != 3 || fit.Coef[2] <= 0 {
+		return offs[minI]
+	}
+	vertex := -fit.Coef[1] / (2 * fit.Coef[2])
+	// The vertex must stay within the window; otherwise trust the argmin.
+	if vertex < offs[lo] || vertex > offs[hi-1] {
+		return offs[minI]
+	}
+	return vertex
+}
+
+// OptimalOffset locates the optimum of a single voltage.
+func (l *Lab) OptimalOffset(b, wl, v int) float64 {
+	offs := l.Grid()
+	acc := make([]float64, len(offs))
+	for rep := 0; rep < l.AverageReads; rep++ {
+		ups, downs := l.Chip.SweepVoltageErrors(b, wl, v, offs, l.readSeed(b, wl, rep))
+		for i := range acc {
+			acc[i] += float64(ups[i] + downs[i])
+		}
+	}
+	return refineMinimum(offs, acc)
+}
+
+// PageRBER measures the RBER of page p on wordline (b, wl) under offsets
+// o, averaged over AverageReads reads.
+func (l *Lab) PageRBER(b, wl, p int, o flash.Offsets) float64 {
+	var sum float64
+	for rep := 0; rep < l.AverageReads; rep++ {
+		sum += l.Chip.PageRBER(b, wl, p, o, l.readSeed(b, wl, 100+rep))
+	}
+	return sum / float64(l.AverageReads)
+}
+
+// LayerRBER holds per-layer results for Figure 3: the maximum RBER of a
+// layer's wordlines at default and at per-wordline optimal voltages.
+type LayerRBER struct {
+	Layer      int
+	DefaultMax float64
+	OptimalMax float64
+}
+
+// LayerMaxRBER computes Figure 3's per-layer maxima for one page over the
+// programmed wordlines of block b.
+func (l *Lab) LayerMaxRBER(b, page int) []LayerRBER {
+	cfg := l.Chip.Config()
+	out := make([]LayerRBER, cfg.Layers)
+	for i := range out {
+		out[i].Layer = i
+		out[i].DefaultMax = -1
+		out[i].OptimalMax = -1
+	}
+	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+		if !l.Chip.IsProgrammed(b, wl) {
+			continue
+		}
+		layer := l.Chip.LayerOf(wl)
+		def := l.PageRBER(b, wl, page, nil)
+		opt := l.PageRBER(b, wl, page, l.OptimalOffsets(b, wl))
+		if def > out[layer].DefaultMax {
+			out[layer].DefaultMax = def
+		}
+		if opt > out[layer].OptimalMax {
+			out[layer].OptimalMax = opt
+		}
+	}
+	// Drop layers with no programmed wordlines.
+	kept := out[:0]
+	for _, r := range out {
+		if r.DefaultMax >= 0 {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// ErrorMap summarizes the spatial structure of bit errors in a block
+// (paper Figure 7): per-wordline error counts and, within each wordline,
+// the error distribution across equal-width segments along the bitline
+// direction.
+type ErrorMap struct {
+	// PerWordline[wl] is the total error count of the wordline across all
+	// pages.
+	PerWordline []int
+	// SegmentCounts[wl][s] is the error count in segment s of the
+	// wordline.
+	SegmentCounts [][]int
+	// Segments is the number of segments per wordline.
+	Segments int
+}
+
+// UniformityChi2 returns the mean over wordlines of the chi-squared
+// statistic of the segment counts against a uniform distribution, divided
+// by the degrees of freedom. Values near 1 indicate errors uniformly
+// spread along wordlines (the paper's key locality observation).
+func (m *ErrorMap) UniformityChi2() float64 {
+	var sum float64
+	n := 0
+	for wl := range m.SegmentCounts {
+		total := m.PerWordline[wl]
+		if total < m.Segments*5 { // need counts for the statistic
+			continue
+		}
+		expect := float64(total) / float64(m.Segments)
+		var chi2 float64
+		for _, c := range m.SegmentCounts[wl] {
+			d := float64(c) - expect
+			chi2 += d * d / expect
+		}
+		sum += chi2 / float64(m.Segments-1)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WordlineVariation returns the coefficient of variation of the
+// per-wordline error counts: large values correspond to the dark and
+// light stripes of Figure 7.
+func (m *ErrorMap) WordlineVariation() float64 {
+	xs := make([]float64, 0, len(m.PerWordline))
+	for _, c := range m.PerWordline {
+		xs = append(xs, float64(c))
+	}
+	mean := mathx.Mean(xs)
+	if mean == 0 {
+		return 0
+	}
+	return mathx.StdDev(xs) / mean
+}
+
+// CollectErrorMap reads every programmed wordline of block b at default
+// voltages and bins the error positions of all pages into segments.
+func (l *Lab) CollectErrorMap(b, segments int) *ErrorMap {
+	cfg := l.Chip.Config()
+	nwl := cfg.WordlinesPerBlock()
+	m := &ErrorMap{
+		PerWordline:   make([]int, nwl),
+		SegmentCounts: make([][]int, nwl),
+		Segments:      segments,
+	}
+	cells := cfg.CellsPerWordline
+	segOf := func(cell int) int {
+		s := cell * segments / cells
+		if s >= segments {
+			s = segments - 1
+		}
+		return s
+	}
+	for wl := 0; wl < nwl; wl++ {
+		m.SegmentCounts[wl] = make([]int, segments)
+		if !l.Chip.IsProgrammed(b, wl) {
+			continue
+		}
+		for p := 0; p < l.Chip.Coding().Bits(); p++ {
+			read := l.Chip.ReadPage(b, wl, p, nil, l.readSeed(b, wl, 200+p))
+			truth := l.Chip.TrueBits(b, wl, p)
+			for i := 0; i < cells; i++ {
+				if read.Get(i) != truth.Get(i) {
+					m.PerWordline[wl]++
+					m.SegmentCounts[wl][segOf(i)]++
+				}
+			}
+		}
+	}
+	return m
+}
+
+// CorrelationPoint is one wordline's (sentinel-voltage optimum, voltage-v
+// optimum) pair for Figure 8.
+type CorrelationPoint struct {
+	SentinelOpt float64
+	VoltOpt     float64
+}
+
+// VoltageCorrelation summarizes the linear relation between the optimum
+// of one read voltage and the sentinel voltage's optimum across
+// wordlines (paper Figure 8).
+type VoltageCorrelation struct {
+	Voltage   int
+	Slope     float64
+	Intercept float64
+	R         float64
+	Points    []CorrelationPoint
+}
+
+// CorrelationCollector accumulates per-wordline optimal-offset vectors
+// across arbitrarily many stress points (the paper gathers "all wordlines
+// from multiple blocks under different P/E cycles and retention time"
+// before fitting Figure 8's lines).
+type CorrelationCollector struct {
+	numVoltages int
+	sentinel    int
+	optima      []flash.Offsets
+}
+
+// NewCorrelationCollector prepares a collector for the chip's coding.
+func NewCorrelationCollector(coding *flash.Coding) *CorrelationCollector {
+	return &CorrelationCollector{
+		numVoltages: coding.NumVoltages(),
+		sentinel:    coding.SentinelVoltage(),
+	}
+}
+
+// Add sweeps the given wordlines of block b at the chip's *current* stress
+// state and records their optima. Call it repeatedly between aging steps.
+func (cc *CorrelationCollector) Add(l *Lab, b int, wls []int) error {
+	for _, wl := range wls {
+		if !l.Chip.IsProgrammed(b, wl) {
+			return fmt.Errorf("charlab: wordline %d not programmed", wl)
+		}
+		cc.optima = append(cc.optima, l.OptimalOffsets(b, wl))
+	}
+	return nil
+}
+
+// Len returns the number of collected optimum vectors.
+func (cc *CorrelationCollector) Len() int { return len(cc.optima) }
+
+// Fit returns the per-voltage linear fits against the sentinel voltage.
+func (cc *CorrelationCollector) Fit() []VoltageCorrelation {
+	xs := make([]float64, len(cc.optima))
+	for i, o := range cc.optima {
+		xs[i] = o.Get(cc.sentinel)
+	}
+	out := make([]VoltageCorrelation, 0, cc.numVoltages)
+	for v := 1; v <= cc.numVoltages; v++ {
+		ys := make([]float64, len(cc.optima))
+		pts := make([]CorrelationPoint, len(cc.optima))
+		for i, o := range cc.optima {
+			ys[i] = o.Get(v)
+			pts[i] = CorrelationPoint{SentinelOpt: xs[i], VoltOpt: ys[i]}
+		}
+		vc := VoltageCorrelation{Voltage: v, Points: pts}
+		slope, intercept, r, err := mathx.LinearFit(xs, ys)
+		if err == nil {
+			vc.Slope, vc.Intercept, vc.R = slope, intercept, r
+		}
+		out = append(out, vc)
+	}
+	return out
+}
+
+// CollectCorrelations sweeps the given wordlines of block b at the current
+// stress state and fits the per-voltage optimum against the sentinel
+// voltage's optimum. For the paper's methodology (multiple stress
+// points), use CorrelationCollector directly.
+func (l *Lab) CollectCorrelations(b int, wls []int) ([]VoltageCorrelation, error) {
+	cc := NewCorrelationCollector(l.Chip.Coding())
+	if err := cc.Add(l, b, wls); err != nil {
+		return nil, err
+	}
+	return cc.Fit(), nil
+}

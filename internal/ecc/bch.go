@@ -1,0 +1,245 @@
+package ecc
+
+import "fmt"
+
+// BCH is a binary primitive BCH code over GF(2^m) correcting up to T bit
+// errors per codeword of length N = 2^m - 1. BCH (and its hard-decision
+// guarantee of exactly T correctable errors) is the classical flash ECC
+// and the ground truth behind the CapabilityModel abstraction used by the
+// retry controller.
+//
+// The code supports shortening: Encode accepts any data length up to K,
+// with the unused high-order positions treated as zeros.
+type BCH struct {
+	M int // field degree
+	N int // full codeword length 2^M - 1
+	T int // designed correction capability
+	K int // maximum data bits
+
+	gf  *gf2m
+	gen []bool // generator polynomial coefficients, gen[i] = coeff of x^i
+}
+
+// NewBCH constructs the BCH code over GF(2^m) with designed distance
+// 2t+1.
+func NewBCH(m, t int) (*BCH, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("ecc: BCH needs t >= 1, got %d", t)
+	}
+	gf, err := newGF(m)
+	if err != nil {
+		return nil, err
+	}
+	n := gf.n
+	// Generator = LCM of minimal polynomials of alpha^1 .. alpha^2t.
+	// Work via cyclotomic cosets mod n.
+	needed := make(map[int]bool)
+	seen := make(map[int]bool)
+	gen := []bool{true} // polynomial "1"
+	for j := 1; j <= 2*t; j++ {
+		if seen[j%n] {
+			continue
+		}
+		// Cyclotomic coset of j.
+		coset := []int{}
+		c := j % n
+		for !seen[c] {
+			seen[c] = true
+			coset = append(coset, c)
+			c = (c * 2) % n
+		}
+		// Minimal polynomial = prod (x - alpha^c) over the coset.
+		mp := []int{1} // coefficients in GF(2^m), mp[i] = coeff of x^i
+		for _, e := range coset {
+			root := gf.pow(e)
+			next := make([]int, len(mp)+1)
+			for i, co := range mp {
+				next[i+1] ^= co // x * mp
+				next[i] ^= gf.mul(co, root)
+			}
+			mp = next
+		}
+		// The minimal polynomial has binary coefficients.
+		mb := make([]bool, len(mp))
+		for i, co := range mp {
+			switch co {
+			case 0:
+			case 1:
+				mb[i] = true
+			default:
+				return nil, fmt.Errorf("ecc: minimal polynomial coefficient %d not binary", co)
+			}
+		}
+		gen = polyMulGF2(gen, mb)
+		needed[j] = true
+	}
+	deg := len(gen) - 1
+	if deg >= n {
+		return nil, fmt.Errorf("ecc: t=%d too large for n=%d (parity %d)", t, n, deg)
+	}
+	return &BCH{M: m, N: n, T: t, K: n - deg, gf: gf, gen: gen}, nil
+}
+
+// polyMulGF2 multiplies two binary polynomials.
+func polyMulGF2(a, b []bool) []bool {
+	out := make([]bool, len(a)+len(b)-1)
+	for i, ai := range a {
+		if !ai {
+			continue
+		}
+		for j, bj := range b {
+			if bj {
+				out[i+j] = !out[i+j]
+			}
+		}
+	}
+	return out
+}
+
+// ParityBits returns the number of parity bits (N - K).
+func (b *BCH) ParityBits() int { return b.N - b.K }
+
+// Encode returns the systematic codeword for data (len(data) <= K):
+// parity bits first, then the data bits. Shortened positions (beyond
+// len(data)) are implicit zeros.
+func (b *BCH) Encode(data []bool) []bool {
+	if len(data) > b.K {
+		panic(fmt.Sprintf("ecc: BCH data %d exceeds K=%d", len(data), b.K))
+	}
+	p := b.ParityBits()
+	// Compute remainder of x^p * d(x) mod gen(x) with an LFSR.
+	reg := make([]bool, p)
+	for i := len(data) - 1; i >= 0; i-- {
+		feedback := data[i] != reg[p-1]
+		for j := p - 1; j > 0; j-- {
+			reg[j] = reg[j-1]
+			if feedback && b.gen[j] {
+				reg[j] = !reg[j]
+			}
+		}
+		reg[0] = feedback && b.gen[0]
+	}
+	out := make([]bool, p+len(data))
+	copy(out, reg)
+	copy(out[p:], data)
+	return out
+}
+
+// Decode corrects up to T bit errors in place on a copy of recv (layout
+// as produced by Encode, possibly shortened) and reports success. On
+// failure the returned slice is nil.
+func (b *BCH) Decode(recv []bool) ([]bool, bool) {
+	if len(recv) > b.N {
+		panic(fmt.Sprintf("ecc: BCH word %d exceeds N=%d", len(recv), b.N))
+	}
+	gf := b.gf
+	// Syndromes S_j = r(alpha^j), j = 1..2T; bit i is coefficient of x^i.
+	syn := make([]int, 2*b.T+1)
+	allZero := true
+	for j := 1; j <= 2*b.T; j++ {
+		s := 0
+		for i, bit := range recv {
+			if bit {
+				s ^= gf.pow(i * j)
+			}
+		}
+		syn[j] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		out := make([]bool, len(recv))
+		copy(out, recv)
+		return out, true
+	}
+	// Berlekamp-Massey: find the error locator polynomial sigma.
+	sigma := []int{1}
+	prev := []int{1}
+	l, mShift := 0, 1
+	bCoef := 1
+	for r := 1; r <= 2*b.T; r++ {
+		// Discrepancy.
+		d := syn[r]
+		for i := 1; i <= l && i < len(sigma); i++ {
+			d ^= gf.mul(sigma[i], syn[r-i])
+		}
+		if d == 0 {
+			mShift++
+			continue
+		}
+		// sigma' = sigma - d/b * x^mShift * prev
+		scale := gf.mul(d, gf.inv(bCoef))
+		next := make([]int, maxInt(len(sigma), len(prev)+mShift))
+		copy(next, sigma)
+		for i, pc := range prev {
+			if pc != 0 {
+				next[i+mShift] ^= gf.mul(scale, pc)
+			}
+		}
+		if 2*l <= r-1 {
+			prev = sigma
+			bCoef = d
+			l = r - l
+			mShift = 1
+		} else {
+			mShift++
+		}
+		sigma = next
+	}
+	// Trim trailing zeros.
+	deg := len(sigma) - 1
+	for deg > 0 && sigma[deg] == 0 {
+		deg--
+	}
+	sigma = sigma[:deg+1]
+	if deg > b.T {
+		return nil, false
+	}
+	// Chien search over the shortened length.
+	out := make([]bool, len(recv))
+	copy(out, recv)
+	found := 0
+	for i := 0; i < len(recv); i++ {
+		// Error at position i iff sigma(alpha^{-i}) == 0.
+		v := 0
+		for j, c := range sigma {
+			if c != 0 {
+				v ^= gf.mul(c, gf.pow(-i*j))
+			}
+		}
+		if v == 0 {
+			out[i] = !out[i]
+			found++
+		}
+	}
+	if found != deg {
+		return nil, false // roots outside the shortened range or repeated
+	}
+	// Verify: syndromes of the corrected word must vanish.
+	for j := 1; j <= 2*b.T; j++ {
+		s := 0
+		for i, bit := range out {
+			if bit {
+				s ^= gf.pow(i * j)
+			}
+		}
+		if s != 0 {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Data extracts the data bits from a decoded codeword of the given data
+// length.
+func (b *BCH) Data(cw []bool, dataLen int) []bool {
+	return cw[b.ParityBits() : b.ParityBits()+dataLen]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

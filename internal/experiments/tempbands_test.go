@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTempBandsImproveHotInference(t *testing.T) {
+	r, err := TempBandExperiment(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BandTableErr <= 0 || r.RoomTableErr <= 0 {
+		t.Fatalf("degenerate errors: %+v", r)
+	}
+	// The hot band's table must beat the room table when reading hot —
+	// the reason Section III-D keeps one table per temperature range.
+	if r.BandTableErr >= r.RoomTableErr {
+		t.Fatalf("banded table (%.2f) not better than room table (%.2f) at %v C",
+			r.BandTableErr, r.RoomTableErr, r.ReadTempC)
+	}
+	if !strings.Contains(r.Render(), "Temperature bands") {
+		t.Fatal("render missing")
+	}
+}

@@ -1,0 +1,64 @@
+package flash
+
+import "math/bits"
+
+// Bitmap is a dense bit vector used for page readouts and single-voltage
+// sense results.
+type Bitmap []uint64
+
+// NewBitmap returns a zeroed bitmap holding n bits.
+func NewBitmap(n int) Bitmap {
+	return make(Bitmap, (n+63)/64)
+}
+
+// Get reports bit i.
+func (b Bitmap) Get(i int) bool {
+	return b[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Set sets bit i to v.
+func (b Bitmap) Set(i int, v bool) {
+	if v {
+		b[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		b[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// PopCount returns the number of set bits.
+func (b Bitmap) PopCount() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// XorCount returns the number of positions where b and o differ. The
+// bitmaps must be the same length.
+func (b Bitmap) XorCount(o Bitmap) int {
+	n := 0
+	for i, w := range b {
+		n += bits.OnesCount64(w ^ o[i])
+	}
+	return n
+}
+
+// XorCountRange returns the number of differing positions within
+// [start, end).
+func (b Bitmap) XorCountRange(o Bitmap, start, end int) int {
+	n := 0
+	for i := start; i < end; i++ {
+		if b.Get(i) != o.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a copy of b.
+func (b Bitmap) Clone() Bitmap {
+	c := make(Bitmap, len(b))
+	copy(c, b)
+	return c
+}

@@ -1,0 +1,78 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sentinel3d/internal/mathx"
+)
+
+func TestBitmapGetSet(t *testing.T) {
+	b := NewBitmap(130)
+	if len(b) != 3 {
+		t.Fatalf("NewBitmap(130) has %d words, want 3", len(b))
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i, true)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		b.Set(i, false)
+		if b.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestBitmapPopCount(t *testing.T) {
+	b := NewBitmap(200)
+	idx := []int{0, 1, 64, 128, 199}
+	for _, i := range idx {
+		b.Set(i, true)
+	}
+	if got := b.PopCount(); got != len(idx) {
+		t.Fatalf("PopCount = %d, want %d", got, len(idx))
+	}
+}
+
+func TestXorCountMatchesRangeCount(t *testing.T) {
+	// Property: XorCount == XorCountRange over the full extent.
+	f := func(seed uint16) bool {
+		r := mathx.NewRand(uint64(seed))
+		n := 64 + r.Intn(300)
+		a, b := NewBitmap(n), NewBitmap(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, r.Float64() < 0.5)
+			b.Set(i, r.Float64() < 0.5)
+		}
+		return a.XorCount(b) == a.XorCountRange(b, 0, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorCountRangeSubset(t *testing.T) {
+	a, b := NewBitmap(128), NewBitmap(128)
+	a.Set(10, true)
+	a.Set(100, true)
+	if got := a.XorCountRange(b, 0, 50); got != 1 {
+		t.Fatalf("range [0,50) diff = %d, want 1", got)
+	}
+	if got := a.XorCountRange(b, 50, 128); got != 1 {
+		t.Fatalf("range [50,128) diff = %d, want 1", got)
+	}
+}
+
+func TestBitmapClone(t *testing.T) {
+	a := NewBitmap(64)
+	a.Set(5, true)
+	c := a.Clone()
+	c.Set(6, true)
+	if a.Get(6) {
+		t.Fatal("Clone aliases original")
+	}
+	if !c.Get(5) {
+		t.Fatal("Clone lost data")
+	}
+}

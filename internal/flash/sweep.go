@@ -1,0 +1,80 @@
+package flash
+
+import "sort"
+
+// SweepVoltageErrors counts, for every offset in offs (which must be in
+// ascending order), the up and down errors that read voltage v would
+// produce, all derived from a single read operation (one shared sensing
+// noise draw). This is the measurement primitive behind characterization
+// sweeps: a real tester likewise re-reads a page across an offset grid.
+//
+// ups[i] + downs[i] is the error count of boundary v at offs[i].
+func (c *Chip) SweepVoltageErrors(b, wl, v int, offs []float64, readSeed uint64) (ups, downs []int) {
+	c.checkAddr(b, wl)
+	vths := c.vthAll(b, wl, readSeed, nil)
+	return c.sweepOne(vths, c.blocks[b].wls[wl].states, v, offs)
+}
+
+// sweepOne classifies one boundary across an ascending offset grid given
+// precomputed per-cell threshold voltages.
+func (c *Chip) sweepOne(vths []float64, states []uint8, v int, offs []float64) (ups, downs []int) {
+	if !sort.Float64sAreSorted(offs) {
+		panic("flash: sweep offsets must ascend")
+	}
+	base := c.model.DefaultReadVoltage(v)
+	n := len(offs)
+	ups = make([]int, n)
+	downs = make([]int, n)
+	// For a cell truly below the boundary (state <= v-1), an up error
+	// occurs at offset x iff vth >= base+x, i.e. for all offsets <= rel
+	// where rel = vth-base. For a cell truly above, a down error occurs
+	// iff x > rel. Bucket cells by ub = #offsets <= rel, then prefix-sum.
+	upAt := make([]int, n+1)
+	downAt := make([]int, n+1)
+	for i, vth := range vths {
+		rel := vth - base
+		ub := sort.SearchFloat64s(offs, rel)
+		// SearchFloat64s returns the first index with offs[i] >= rel; we
+		// need #offsets <= rel, so advance over equal values.
+		for ub < n && offs[ub] <= rel {
+			ub++
+		}
+		if int(states[i]) <= v-1 {
+			upAt[ub]++
+		} else {
+			downAt[ub]++
+		}
+	}
+	// ups[i] = # up-cells with ub > i; downs[i] = # down-cells with ub <= i.
+	suffix := 0
+	for i := n - 1; i >= 0; i-- {
+		suffix += upAt[i+1]
+		ups[i] = suffix
+	}
+	prefix := 0
+	for i := 0; i < n; i++ {
+		prefix += downAt[i]
+		downs[i] = prefix
+	}
+	return ups, downs
+}
+
+// SweepAllVoltages classifies every read voltage across the offset grid
+// from a single read operation and returns total error counts indexed as
+// errs[v-1][i] for voltage v at offs[i].
+func (c *Chip) SweepAllVoltages(b, wl int, offs []float64, readSeed uint64) [][]int {
+	c.checkAddr(b, wl)
+	vths := c.vthAll(b, wl, readSeed, nil)
+	states := c.blocks[b].wls[wl].states
+	nv := c.coding.NumVoltages()
+	out := make([][]int, nv)
+	for v := 1; v <= nv; v++ {
+		ups, downs := c.sweepOne(vths, states, v, offs)
+		row := make([]int, len(offs))
+		for i := range row {
+			row[i] = ups[i] + downs[i]
+		}
+		out[v-1] = row
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package flash
+
+import (
+	"testing"
+
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/physics"
+)
+
+func agedQLC(t *testing.T) *Chip {
+	t.Helper()
+	c := MustNew(testConfig(QLC))
+	rng := mathx.NewRand(3)
+	c.ProgramRandom(0, 0, rng)
+	c.Cycle(0, 1000)
+	c.Age(0, physics.YearHours, physics.RoomTempC)
+	return c
+}
+
+func TestSweepMatchesPointQueries(t *testing.T) {
+	// Property: the batched sweep must agree exactly with per-offset
+	// VoltageErrors calls at the same read seed.
+	c := agedQLC(t)
+	offs := []float64{-30, -20, -10, -5, 0, 5, 10}
+	for _, v := range []int{1, 2, 8, 15} {
+		ups, downs := c.SweepVoltageErrors(0, 0, v, offs, 99)
+		for i, o := range offs {
+			u, d := c.VoltageErrors(0, 0, v, o, 99)
+			if u != ups[i] || d != downs[i] {
+				t.Fatalf("V%d offset %v: sweep (%d,%d) != point (%d,%d)",
+					v, o, ups[i], downs[i], u, d)
+			}
+		}
+	}
+}
+
+func TestSweepMonotoneStructure(t *testing.T) {
+	// As the offset increases, up errors grow and down errors shrink.
+	c := agedQLC(t)
+	offs := make([]float64, 0, 81)
+	for o := -40.0; o <= 40; o++ {
+		offs = append(offs, o)
+	}
+	ups, downs := c.SweepVoltageErrors(0, 0, 8, offs, 5)
+	for i := 1; i < len(offs); i++ {
+		if ups[i] > ups[i-1] {
+			t.Fatalf("up errors increased with offset at %v", offs[i])
+		}
+		if downs[i] < downs[i-1] {
+			t.Fatalf("down errors decreased with offset at %v", offs[i])
+		}
+	}
+}
+
+func TestSweepVShape(t *testing.T) {
+	// Total errors across the sweep form a valley with an interior
+	// minimum below the edge values (paper Fig. 2).
+	c := agedQLC(t)
+	offs := make([]float64, 0, 121)
+	for o := -60.0; o <= 60; o++ {
+		offs = append(offs, o)
+	}
+	rows := c.SweepAllVoltages(0, 0, offs, 5)
+	for v := 2; v <= 15; v++ {
+		row := rows[v-1]
+		minI, minV := 0, row[0]
+		for i, e := range row {
+			if e < minV {
+				minI, minV = i, e
+			}
+		}
+		if minI == 0 || minI == len(row)-1 {
+			t.Fatalf("V%d minimum at sweep edge (offset %v)", v, offs[minI])
+		}
+		if row[0] <= minV || row[len(row)-1] <= minV {
+			t.Fatalf("V%d has no valley: edges %d,%d min %d",
+				v, row[0], row[len(row)-1], minV)
+		}
+	}
+}
+
+func TestSweepPanicsOnUnsortedOffsets(t *testing.T) {
+	c := agedQLC(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted offsets accepted")
+		}
+	}()
+	c.SweepVoltageErrors(0, 0, 8, []float64{0, -10, 10}, 1)
+}
+
+func TestSweepOptimalBelowDefaultAfterRetention(t *testing.T) {
+	// After heavy retention the optimal offset for mid boundaries is
+	// negative.
+	c := agedQLC(t)
+	offs := make([]float64, 0, 101)
+	for o := -60.0; o <= 40; o++ {
+		offs = append(offs, o)
+	}
+	rows := c.SweepAllVoltages(0, 0, offs, 7)
+	row := rows[7] // V8
+	minI, minV := 0, row[0]
+	for i, e := range row {
+		if e < minV {
+			minI, minV = i, e
+		}
+	}
+	if offs[minI] >= 0 {
+		t.Fatalf("V8 optimum %v not negative after 1-year retention", offs[minI])
+	}
+}

@@ -1,0 +1,309 @@
+// Package ftl implements a page-mapped flash translation layer over a
+// multi-channel SSD geometry: logical-to-physical mapping, round-robin
+// write allocation across planes, greedy garbage collection, and per-block
+// wear accounting. It is the address-translation substrate beneath the
+// trace-driven simulator (paper Figure 14 runs SSDSim with the same
+// structure).
+package ftl
+
+import "fmt"
+
+// Geometry describes the SSD's physical structure.
+type Geometry struct {
+	Channels       int
+	ChipsPerChan   int
+	DiesPerChip    int
+	PlanesPerDie   int
+	BlocksPerPlane int
+	PagesPerBlock  int
+}
+
+// DefaultGeometry is a small but fully parallel SSD: 4 channels x 2 chips
+// x 2 dies x 2 planes, mirroring SSDSim-style configurations.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:       4,
+		ChipsPerChan:   2,
+		DiesPerChip:    2,
+		PlanesPerDie:   2,
+		BlocksPerPlane: 64,
+		PagesPerBlock:  768,
+	}
+}
+
+// Validate reports geometry errors.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.ChipsPerChan <= 0 || g.DiesPerChip <= 0 ||
+		g.PlanesPerDie <= 0 || g.BlocksPerPlane <= 0 || g.PagesPerBlock <= 0 {
+		return fmt.Errorf("ftl: non-positive geometry %+v", g)
+	}
+	if g.BlocksPerPlane < 4 {
+		return fmt.Errorf("ftl: need >= 4 blocks per plane for GC, got %d",
+			g.BlocksPerPlane)
+	}
+	return nil
+}
+
+// Planes returns the total number of planes.
+func (g Geometry) Planes() int {
+	return g.Channels * g.ChipsPerChan * g.DiesPerChip * g.PlanesPerDie
+}
+
+// Dies returns the total number of dies.
+func (g Geometry) Dies() int {
+	return g.Channels * g.ChipsPerChan * g.DiesPerChip
+}
+
+// PagesTotal returns the number of physical pages.
+func (g Geometry) PagesTotal() int {
+	return g.Planes() * g.BlocksPerPlane * g.PagesPerBlock
+}
+
+// PPN is a physical page address.
+type PPN struct {
+	Plane int // global plane index
+	Block int // block within the plane
+	Page  int // page within the block
+}
+
+// Channel returns the channel of a plane index under g.
+func (g Geometry) Channel(plane int) int {
+	return plane / (g.ChipsPerChan * g.DiesPerChip * g.PlanesPerDie)
+}
+
+// Die returns the global die index of a plane.
+func (g Geometry) Die(plane int) int { return plane / g.PlanesPerDie }
+
+const invalidLPN = int64(-1)
+
+type blockMeta struct {
+	valid    []int64 // valid[page] = LPN stored there, or invalidLPN
+	validCnt int
+	writePtr int // next free page, PagesPerBlock when full
+	erases   int
+	isActive bool
+}
+
+type planeState struct {
+	blocks    []blockMeta
+	active    int   // block currently receiving writes
+	freeQueue []int // erased blocks ready for allocation
+}
+
+// FTL is a page-mapped translation layer. It is not safe for concurrent
+// use; the simulator drives it from one goroutine.
+type FTL struct {
+	geo Geometry
+	// map from LPN to physical page.
+	l2p       map[int64]PPN
+	planes    []planeState
+	nextPlane int
+
+	// Stats
+	HostWrites int64
+	GCWrites   int64
+	Erases     int64
+
+	// GCThreshold is the free-block low-water mark per plane at which
+	// garbage collection runs (default 2).
+	GCThreshold int
+}
+
+// New builds an FTL over the geometry.
+func New(geo Geometry) (*FTL, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		geo:         geo,
+		l2p:         make(map[int64]PPN),
+		planes:      make([]planeState, geo.Planes()),
+		GCThreshold: 2,
+	}
+	for p := range f.planes {
+		ps := &f.planes[p]
+		ps.blocks = make([]blockMeta, geo.BlocksPerPlane)
+		for b := range ps.blocks {
+			ps.blocks[b].valid = make([]int64, geo.PagesPerBlock)
+			for i := range ps.blocks[b].valid {
+				ps.blocks[b].valid[i] = invalidLPN
+			}
+			if b > 0 {
+				ps.freeQueue = append(ps.freeQueue, b)
+			}
+		}
+		ps.active = 0
+		ps.blocks[0].isActive = true
+	}
+	return f, nil
+}
+
+// Geometry returns the FTL's geometry.
+func (f *FTL) Geometry() Geometry { return f.geo }
+
+// Translate returns the physical page of an LPN.
+func (f *FTL) Translate(lpn int64) (PPN, bool) {
+	p, ok := f.l2p[lpn]
+	return p, ok
+}
+
+// FreeBlocks returns the number of erased spare blocks in plane p.
+func (f *FTL) FreeBlocks(p int) int { return len(f.planes[p].freeQueue) }
+
+// WriteResult describes the physical work one host page write caused.
+type WriteResult struct {
+	// Target is where the host page landed.
+	Target PPN
+	// Migrations lists valid pages relocated by garbage collection
+	// triggered by this write (source pages; each also incurred a write).
+	Migrations []PPN
+	// ErasedBlocks counts blocks erased by GC during this write.
+	ErasedBlocks int
+}
+
+// Write maps (or remaps) an LPN, allocating the next page of the current
+// plane's active block and running garbage collection if free space runs
+// low. Planes are filled round-robin, which stripes sequential writes
+// across channels exactly like SSDSim's dynamic allocation.
+func (f *FTL) Write(lpn int64) (WriteResult, error) {
+	if lpn < 0 {
+		return WriteResult{}, fmt.Errorf("ftl: negative LPN %d", lpn)
+	}
+	// Invalidate the old copy.
+	if old, ok := f.l2p[lpn]; ok {
+		bm := &f.planes[old.Plane].blocks[old.Block]
+		if bm.valid[old.Page] == lpn {
+			bm.valid[old.Page] = invalidLPN
+			bm.validCnt--
+		}
+	}
+	plane := f.nextPlane
+	f.nextPlane = (f.nextPlane + 1) % len(f.planes)
+
+	var res WriteResult
+	tgt, err := f.allocate(plane, lpn)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	f.l2p[lpn] = tgt
+	res.Target = tgt
+	f.HostWrites++
+	// Keep the free-block watermark: run GC until replenished or until it
+	// stops making progress (all candidate victims fully valid).
+	for len(f.planes[plane].freeQueue) < f.GCThreshold {
+		progressed, err := f.collect(plane, &res)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		if !progressed {
+			break
+		}
+	}
+	return res, nil
+}
+
+// allocate takes the next free page in the plane's active block, rolling
+// to a fresh block from the free queue when full.
+func (f *FTL) allocate(plane int, lpn int64) (PPN, error) {
+	ps := &f.planes[plane]
+	bm := &ps.blocks[ps.active]
+	if bm.writePtr >= f.geo.PagesPerBlock {
+		if len(ps.freeQueue) == 0 {
+			return PPN{}, fmt.Errorf("ftl: plane %d out of space", plane)
+		}
+		bm.isActive = false
+		ps.active = ps.freeQueue[0]
+		ps.freeQueue = ps.freeQueue[1:]
+		ps.blocks[ps.active].isActive = true
+		bm = &ps.blocks[ps.active]
+	}
+	page := bm.writePtr
+	bm.writePtr++
+	bm.valid[page] = lpn
+	bm.validCnt++
+	return PPN{Plane: plane, Block: ps.active, Page: page}, nil
+}
+
+// collect performs one round of greedy garbage collection on the plane:
+// it picks the fully-written block with the fewest valid pages, migrates
+// them, and erases it. It reports whether it reclaimed any space
+// (progressed = false when the best victim is fully valid, which means GC
+// cannot help until the host invalidates more data).
+func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) {
+	ps := &f.planes[plane]
+	victim := -1
+	best := f.geo.PagesPerBlock + 1
+	for b := range ps.blocks {
+		bm := &ps.blocks[b]
+		if bm.isActive || bm.writePtr < f.geo.PagesPerBlock {
+			continue
+		}
+		if bm.validCnt < best {
+			best = bm.validCnt
+			victim = b
+		}
+	}
+	if victim < 0 || best >= f.geo.PagesPerBlock {
+		return false, nil
+	}
+	bm := &ps.blocks[victim]
+	for page, lpn := range bm.valid {
+		if lpn == invalidLPN {
+			continue
+		}
+		res.Migrations = append(res.Migrations,
+			PPN{Plane: plane, Block: victim, Page: page})
+		bm.valid[page] = invalidLPN
+		bm.validCnt--
+		tgt, err := f.allocate(plane, lpn)
+		if err != nil {
+			return false, err
+		}
+		f.l2p[lpn] = tgt
+		f.GCWrites++
+	}
+	// Erase.
+	bm.writePtr = 0
+	bm.validCnt = 0
+	bm.erases++
+	for i := range bm.valid {
+		bm.valid[i] = invalidLPN
+	}
+	f.Erases++
+	res.ErasedBlocks++
+	ps.freeQueue = append(ps.freeQueue, victim)
+	return true, nil
+}
+
+// BlockErases returns the erase count of a block (wear accounting).
+func (f *FTL) BlockErases(plane, block int) int {
+	return f.planes[plane].blocks[block].erases
+}
+
+// CheckInvariants verifies internal consistency: every L2P entry points
+// at a page recording that LPN, and valid counts match. Tests call this.
+func (f *FTL) CheckInvariants() error {
+	for lpn, ppn := range f.l2p {
+		bm := &f.planes[ppn.Plane].blocks[ppn.Block]
+		if bm.valid[ppn.Page] != lpn {
+			return fmt.Errorf("ftl: L2P %d -> %+v but page holds %d",
+				lpn, ppn, bm.valid[ppn.Page])
+		}
+	}
+	for p := range f.planes {
+		for b := range f.planes[p].blocks {
+			bm := &f.planes[p].blocks[b]
+			cnt := 0
+			for _, v := range bm.valid {
+				if v != invalidLPN {
+					cnt++
+				}
+			}
+			if cnt != bm.validCnt {
+				return fmt.Errorf("ftl: plane %d block %d valid count %d != %d",
+					p, b, bm.validCnt, cnt)
+			}
+		}
+	}
+	return nil
+}

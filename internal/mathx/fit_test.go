@@ -1,0 +1,215 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := Poly{Coef: []float64{1, 2, 3}} // 1 + 2x + 3x^2
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 6}, {2, 17}, {-1, 2},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPolyFitExactOnPolynomialData(t *testing.T) {
+	// Property: fitting degree-d data with a degree-d model recovers the
+	// evaluations exactly (up to numeric noise).
+	r := NewRand(31)
+	f := func(seed uint32) bool {
+		rr := NewRand(uint64(seed))
+		deg := rr.Intn(5) + 1
+		coef := make([]float64, deg+1)
+		for i := range coef {
+			coef[i] = rr.Float64()*4 - 2
+		}
+		truth := Poly{Coef: coef}
+		n := deg + 1 + rr.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rr.Float64()*20 - 10
+			ys[i] = truth.Eval(xs[i])
+		}
+		fit, err := PolyFit(xs, ys, deg)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if math.Abs(fit.Eval(xs[i])-ys[i]) > 1e-6*(1+math.Abs(ys[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyFitDegreeZero(t *testing.T) {
+	fit, err := PolyFit([]float64{1, 2, 3}, []float64{5, 7, 9}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Eval(0)-7) > 1e-12 {
+		t.Fatalf("constant fit = %v, want 7", fit.Eval(0))
+	}
+}
+
+func TestPolyFitInsufficientPoints(t *testing.T) {
+	_, err := PolyFit([]float64{1, 2}, []float64{1, 2}, 5)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestPolyFitMismatchedLengths(t *testing.T) {
+	if _, err := PolyFit([]float64{1, 2, 3}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want error on mismatched lengths")
+	}
+}
+
+func TestPolyFitConstantX(t *testing.T) {
+	// All x identical: degree>=1 cannot be determined.
+	xs := []float64{3, 3, 3, 3}
+	ys := []float64{1, 2, 3, 4}
+	if _, err := PolyFit(xs, ys, 2); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular for constant x, got %v", err)
+	}
+	// Degree 0 is fine.
+	fit, err := PolyFit(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Eval(0)-2.5) > 1e-12 {
+		t.Fatalf("degree-0 fit on constant x = %v, want 2.5", fit.Eval(0))
+	}
+}
+
+func TestPolyFitNoisy(t *testing.T) {
+	// Degree-5 fit of a smooth monotone curve with noise should track the
+	// underlying curve well: this mirrors the paper's f(d) fit (Fig 10).
+	r := NewRand(2020)
+	truth := func(x float64) float64 { return 40*math.Tanh(x*3) + 2*x }
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := r.Float64()*2 - 1
+		xs = append(xs, x)
+		ys = append(ys, truth(x)+r.NormFloat64()*0.5)
+	}
+	fit, err := PolyFit(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for x := -0.9; x <= 0.9; x += 0.05 {
+		e := math.Abs(fit.Eval(x) - truth(x))
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 3 {
+		t.Fatalf("degree-5 fit max error %v too large", maxErr)
+	}
+}
+
+func TestSolveLinearIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Fatalf("identity solve = %v", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Requires row swap (a[0][0] == 0).
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 5}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("pivoted solve = %v, want [5 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 1
+	}
+	slope, intercept, r, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2.5) > 1e-12 || math.Abs(intercept+1) > 1e-12 {
+		t.Fatalf("fit = %v x + %v", slope, intercept)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %v, want 1", r)
+	}
+}
+
+func TestLinearFitNegativeCorrelation(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 2, 1, 0}
+	_, _, r, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, _, _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular for constant x, got %v", err)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	slope, intercept, r, err := LinearFit([]float64{1, 2, 3}, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope != 0 || intercept != 7 || r != 1 {
+		t.Fatalf("constant-y fit = (%v, %v, %v)", slope, intercept, r)
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	p := Poly{Coef: []float64{1, -2}}
+	if s := p.String(); s == "" || s == "0" {
+		t.Fatalf("unexpected String: %q", s)
+	}
+	if (Poly{}).String() != "0" {
+		t.Fatal("empty poly should print as 0")
+	}
+}

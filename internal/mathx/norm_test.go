@@ -1,0 +1,101 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormInvKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},    // Phi(1)
+		{0.15865525393145707, -1},  // Phi(-1)
+		{0.9772498680518208, 2},    // Phi(2)
+		{0.022750131948179212, -2}, // Phi(-2)
+		{0.9986501019683699, 3},
+		{0.0013498980316301035, -3},
+	}
+	for _, c := range cases {
+		got := NormInv(c.p)
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormInv(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormInvEdgeCases(t *testing.T) {
+	if !math.IsInf(NormInv(0), -1) {
+		t.Error("NormInv(0) should be -Inf")
+	}
+	if !math.IsInf(NormInv(1), 1) {
+		t.Error("NormInv(1) should be +Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormInv(p)) {
+			t.Errorf("NormInv(%v) should be NaN", p)
+		}
+	}
+}
+
+func TestNormInvRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		// p in (1e-9, 1-1e-9) to avoid extreme tails.
+		p := 1e-9 + float64(raw)/float64(math.MaxUint32)*(1-2e-9)
+		x := NormInv(p)
+		back := NormCDF(x)
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormCDFSymmetry(t *testing.T) {
+	f := func(raw int16) bool {
+		x := float64(raw) / 4096
+		return math.Abs(NormCDF(x)+NormCDF(-x)-1) < 1e-14
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormPDFPeakAndSymmetry(t *testing.T) {
+	if math.Abs(NormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Error("NormPDF(0) wrong")
+	}
+	if NormPDF(1.3) != NormPDF(-1.3) {
+		t.Error("NormPDF not symmetric")
+	}
+}
+
+func TestGaussFromHashMoments(t *testing.T) {
+	const n = 300000
+	var sum, sumSq float64
+	for i := uint64(0); i < n; i++ {
+		v := GaussFromHash(Hash64(i))
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("GaussFromHash produced non-finite %v at %d", v, i)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("hash-gaussian mean %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("hash-gaussian variance %v", variance)
+	}
+}
+
+func TestUniformFromHashRange(t *testing.T) {
+	for i := uint64(0); i < 100000; i++ {
+		u := UniformFromHash(Hash64(i * 977))
+		if u < 0 || u >= 1 {
+			t.Fatalf("UniformFromHash out of range: %v", u)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package physics
+
+import "testing"
+
+func TestDefaultParamsValid(t *testing.T) {
+	for _, p := range []Params{TLC(), QLC()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("default params invalid: %v", err)
+		}
+	}
+}
+
+func TestStatesAndVoltages(t *testing.T) {
+	tlc := TLC()
+	if tlc.States() != 8 || tlc.NumVoltages() != 7 {
+		t.Fatalf("TLC states/voltages = %d/%d, want 8/7", tlc.States(), tlc.NumVoltages())
+	}
+	qlc := QLC()
+	if qlc.States() != 16 || qlc.NumVoltages() != 15 {
+		t.Fatalf("QLC states/voltages = %d/%d, want 16/15", qlc.States(), qlc.NumVoltages())
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.Bits = 0 },
+		func(p *Params) { p.Bits = 9 },
+		func(p *Params) { p.StateWidth = 0 },
+		func(p *Params) { p.ProgramSigma = -1 },
+		func(p *Params) { p.EraseSigma = 0 },
+		func(p *Params) { p.RetentionT0Hours = 0 },
+		func(p *Params) { p.ActivationEnergyEV = 0 },
+	}
+	for i, mutate := range cases {
+		p := TLC()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestNewModelRejectsInvalid(t *testing.T) {
+	p := TLC()
+	p.Bits = 0
+	if _, err := NewModel(p, 1); err == nil {
+		t.Fatal("NewModel accepted invalid params")
+	}
+}

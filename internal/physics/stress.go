@@ -1,0 +1,92 @@
+package physics
+
+import "math"
+
+// RoomTempC is the reference temperature for retention accounting.
+const RoomTempC = 25.0
+
+// boltzmannEVPerK is the Boltzmann constant in eV/K.
+const boltzmannEVPerK = 8.617333262e-5
+
+// Stress is the accumulated wear and retention state of a flash block.
+// Retention is tracked as *effective hours at room temperature*: time
+// spent at elevated temperature is multiplied by the Arrhenius
+// acceleration factor before accumulation, which is exactly how the paper
+// emulates one-year retention by baking chips.
+type Stress struct {
+	// PECycles is the number of program/erase cycles endured.
+	PECycles int
+
+	// EffRetentionHours is the retention time since programming,
+	// normalized to room temperature.
+	EffRetentionHours float64
+
+	// ReadCount is the number of reads since the last program (read
+	// disturb accounting).
+	ReadCount int
+
+	// ReadTempC is the ambient temperature during reads; zero means room
+	// temperature. Reading hot shifts higher states down relative to
+	// where they were programmed (cross-temperature effect).
+	ReadTempC float64
+}
+
+// EffectiveReadTemp returns the read temperature, defaulting to room.
+func (s Stress) EffectiveReadTemp() float64 {
+	if s.ReadTempC == 0 {
+		return RoomTempC
+	}
+	return s.ReadTempC
+}
+
+// AtReadTemp returns a copy of s with the read temperature set.
+func (s Stress) AtReadTemp(tempC float64) Stress {
+	s.ReadTempC = tempC
+	return s
+}
+
+// AccelerationFactor returns the Arrhenius acceleration factor of
+// tempC relative to room temperature for the given activation energy:
+// AF = exp(Ea/kB * (1/Troom - 1/T)). AF > 1 above room temperature.
+func AccelerationFactor(activationEnergyEV, tempC float64) float64 {
+	tRoom := RoomTempC + 273.15
+	t := tempC + 273.15
+	return math.Exp(activationEnergyEV / boltzmannEVPerK * (1/tRoom - 1/t))
+}
+
+// Aged returns a copy of s with hours of retention at tempC added,
+// converted to effective room-temperature hours using the activation
+// energy from p.
+func (s Stress) Aged(p Params, hours, tempC float64) Stress {
+	if hours < 0 {
+		hours = 0
+	}
+	s.EffRetentionHours += hours * AccelerationFactor(p.ActivationEnergyEV, tempC)
+	return s
+}
+
+// Cycled returns a copy of s with n additional P/E cycles.
+func (s Stress) Cycled(n int) Stress {
+	if n > 0 {
+		s.PECycles += n
+	}
+	return s
+}
+
+// AfterProgram returns the stress state immediately after reprogramming:
+// retention and read count reset, wear kept.
+func (s Stress) AfterProgram() Stress {
+	return Stress{PECycles: s.PECycles}
+}
+
+// Read returns a copy of s with n additional read operations recorded.
+func (s Stress) Read(n int) Stress {
+	if n > 0 {
+		s.ReadCount += n
+	}
+	return s
+}
+
+// YearHours is the number of hours in the paper's canonical one-year
+// retention experiments.
+const YearHours = 365 * 24

@@ -1,0 +1,67 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccelerationFactorRoomTemp(t *testing.T) {
+	if af := AccelerationFactor(0.55, RoomTempC); math.Abs(af-1) > 1e-12 {
+		t.Fatalf("AF at room temperature = %v, want 1", af)
+	}
+}
+
+func TestAccelerationFactorMonotone(t *testing.T) {
+	prev := 0.0
+	for _, temp := range []float64{0, 25, 40, 60, 80, 100} {
+		af := AccelerationFactor(0.55, temp)
+		if af <= prev {
+			t.Fatalf("AF not increasing: AF(%v) = %v after %v", temp, af, prev)
+		}
+		prev = af
+	}
+}
+
+func TestAccelerationFactorMagnitude(t *testing.T) {
+	// One hour at 80C should correspond to dozens of equivalent
+	// room-temperature hours (paper Section IV), i.e. AF in [10, 100].
+	af := AccelerationFactor(0.55, 80)
+	if af < 10 || af > 100 {
+		t.Fatalf("AF(80C) = %v, want within [10, 100]", af)
+	}
+}
+
+func TestAgedAccumulatesEffectiveHours(t *testing.T) {
+	p := QLC()
+	s := Stress{}
+	s = s.Aged(p, 10, RoomTempC)
+	if math.Abs(s.EffRetentionHours-10) > 1e-9 {
+		t.Fatalf("room-temp aging: %v hours, want 10", s.EffRetentionHours)
+	}
+	hot := Stress{}.Aged(p, 1, 80)
+	if hot.EffRetentionHours <= 10 {
+		t.Fatalf("1h at 80C gave only %v effective hours", hot.EffRetentionHours)
+	}
+	// Negative hours are ignored.
+	if got := (Stress{}).Aged(p, -5, 80); got.EffRetentionHours != 0 {
+		t.Fatalf("negative aging changed stress: %+v", got)
+	}
+}
+
+func TestCycledAndRead(t *testing.T) {
+	s := Stress{}.Cycled(100).Cycled(-5).Read(7).Read(0)
+	if s.PECycles != 100 {
+		t.Fatalf("PECycles = %d", s.PECycles)
+	}
+	if s.ReadCount != 7 {
+		t.Fatalf("ReadCount = %d", s.ReadCount)
+	}
+}
+
+func TestAfterProgramResetsRetentionKeepsWear(t *testing.T) {
+	s := Stress{PECycles: 500, EffRetentionHours: 1000, ReadCount: 99}
+	s = s.AfterProgram()
+	if s.PECycles != 500 || s.EffRetentionHours != 0 || s.ReadCount != 0 {
+		t.Fatalf("AfterProgram = %+v", s)
+	}
+}

@@ -1,0 +1,103 @@
+package retry
+
+import (
+	"testing"
+
+	"sentinel3d/internal/ecc"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+func TestCombinedPolicyBeatsBoth(t *testing.T) {
+	// The Section V extension: tracked offsets for the first attempt,
+	// sentinel inference on failure. Its retry count should be at most
+	// the sentinel policy's (the tracked first read sometimes succeeds
+	// where defaults fail).
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	capm := ecc.CapabilityModel{FrameBits: 8192, T: 26}
+	ctl, err := NewController(chip, capm, DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewDefaultTable(chip, 1.2)
+	tracking := NewTracking(table)
+	if err := tracking.UpdateBlock(chip, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sent := NewSentinelPolicy(eng)
+	combined := NewCombined(tracking, sent)
+	if combined.Name() != "tracking+sentinel" {
+		t.Fatal("name wrong")
+	}
+
+	var sentSum, combSum float64
+	combFails := 0
+	nwl := chip.Config().WordlinesPerBlock()
+	for wl := 0; wl < nwl; wl++ {
+		for p := 0; p < 3; p++ {
+			rS := ctl.Read(0, wl, p, sent, mathx.Mix3(31, uint64(wl), uint64(p)))
+			rC := ctl.Read(0, wl, p, combined, mathx.Mix3(32, uint64(wl), uint64(p)))
+			sentSum += float64(rS.Retries)
+			combSum += float64(rC.Retries)
+			if !rC.OK {
+				combFails++
+			}
+		}
+	}
+	if combSum > sentSum*1.15 {
+		t.Fatalf("combined (%v) clearly worse than sentinel alone (%v)",
+			combSum, sentSum)
+	}
+	if combFails > 3 {
+		t.Fatalf("combined policy failed %d reads", combFails)
+	}
+}
+
+func TestCombinedWithoutTrackingFallsBack(t *testing.T) {
+	// With no tracked offsets yet, the combined policy behaves exactly
+	// like the sentinel policy.
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	capm := ecc.CapabilityModel{FrameBits: 8192, T: 26}
+	ctl, err := NewController(chip, capm, DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracking := NewTracking(NewDefaultTable(chip, 1.2)) // never updated
+	sent := NewSentinelPolicy(eng)
+	combined := NewCombined(tracking, sent)
+	for wl := 0; wl < 8; wl++ {
+		rS := ctl.Read(0, wl, 2, sent, mathx.Mix(41, uint64(wl)))
+		rC := ctl.Read(0, wl, 2, combined, mathx.Mix(41, uint64(wl)))
+		if rS.Retries != rC.Retries || rS.OK != rC.OK {
+			t.Fatalf("wl %d: combined (%d,%v) != sentinel (%d,%v) without tracking",
+				wl, rC.Retries, rC.OK, rS.Retries, rS.OK)
+		}
+	}
+}
+
+func TestCombinedLSBUsesAuxSense(t *testing.T) {
+	// With tracked offsets, the first LSB attempt is at non-default
+	// voltages, so the sentinel step must spend an auxiliary sense
+	// instead of reusing the readout.
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	capm := ecc.CapabilityModel{FrameBits: 8192, T: 1} // force failures
+	ctl, err := NewController(chip, capm, DefaultLatency(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracking := NewTracking(NewDefaultTable(chip, 1.2))
+	if err := tracking.UpdateBlock(chip, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	combined := NewCombined(tracking, NewSentinelPolicy(eng))
+	res := ctl.Read(0, 3, flash.PageLSB, combined, 99)
+	if res.OK {
+		t.Skip("read unexpectedly passed with T=1")
+	}
+	if res.AuxSenses == 0 {
+		t.Fatal("combined LSB retry reused a non-default readout as the default sense")
+	}
+}

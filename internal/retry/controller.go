@@ -1,0 +1,150 @@
+package retry
+
+import (
+	"fmt"
+
+	"sentinel3d/internal/ecc"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+// Env gives a policy controlled access to the chip during one read: it can
+// issue auxiliary single-voltage senses, with every operation's latency
+// accounted on the read.
+type Env struct {
+	Chip  *flash.Chip
+	B, WL int
+	Page  int
+
+	lat       LatencyModel
+	seed      uint64
+	senseOps  int
+	extraCost float64
+}
+
+// Sense performs an accounted one-voltage auxiliary read at voltage v with
+// the given offset and returns the sense bitmap (bit set = cell at or
+// above the voltage).
+func (e *Env) Sense(v int, offset float64) flash.Bitmap {
+	e.senseOps++
+	e.extraCost += e.lat.AuxSense()
+	return e.Chip.Sense(e.B, e.WL, v, offset, mathx.Mix3(e.seed, 0xa5e, uint64(e.senseOps)))
+}
+
+// Coding returns the chip's page coding.
+func (e *Env) Coding() *flash.Coding { return e.Chip.Coding() }
+
+// Session is the per-read state of a policy. NextOffsets is called with
+// the attempt number k (0 = first read), the previous attempt's readout
+// bitmap (nil when k = 0), and the offsets that attempt used. It returns
+// the offsets for attempt k, or ok=false to give up.
+type Session interface {
+	NextOffsets(k int, prior flash.Bitmap, priorOfs flash.Offsets) (ofs flash.Offsets, ok bool)
+}
+
+// Policy produces sessions and names itself for reports.
+type Policy interface {
+	Name() string
+	Session(env *Env) Session
+}
+
+// Result reports one serviced read.
+type Result struct {
+	// OK is false when the read exhausted its retry budget.
+	OK bool
+	// Retries is the number of re-read attempts after the first read.
+	Retries int
+	// AuxSenses is the number of auxiliary one-voltage reads performed
+	// (sentinel measurements and calibration probes).
+	AuxSenses int
+	// Latency is the total service time in microseconds.
+	Latency float64
+	// FinalOffsets is the offset vector of the last attempt.
+	FinalOffsets flash.Offsets
+	// FinalErrors is the raw bit-error count of the last attempt over the
+	// ECC-protected user cells (simulator-side observability).
+	FinalErrors int
+}
+
+// Controller drives reads against a chip with a policy and an ECC model.
+type Controller struct {
+	Chip       *flash.Chip
+	ECC        ecc.CapabilityModel
+	Lat        LatencyModel
+	MaxRetries int
+}
+
+// NewController validates and builds a controller.
+func NewController(chip *flash.Chip, model ecc.CapabilityModel, lat LatencyModel, maxRetries int) (*Controller, error) {
+	if chip == nil {
+		return nil, fmt.Errorf("retry: nil chip")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lat.Validate(); err != nil {
+		return nil, err
+	}
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("retry: negative retry budget %d", maxRetries)
+	}
+	return &Controller{Chip: chip, ECC: model, Lat: lat, MaxRetries: maxRetries}, nil
+}
+
+// Read services one page read with the given policy. readSeed
+// de-correlates sensing noise across reads.
+func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
+	env := &Env{
+		Chip: c.Chip, B: b, WL: wl, Page: page,
+		lat: c.Lat, seed: readSeed,
+	}
+	sess := pol.Session(env)
+	coding := c.Chip.Coding()
+	levels := len(coding.PageVoltages(page))
+	userBits := c.Chip.Config().UserCells()
+	truth := c.Chip.TrueBits(b, wl, page)
+
+	var res Result
+	var prior flash.Bitmap
+	var priorOfs flash.Offsets
+	for k := 0; ; k++ {
+		ofs, ok := sess.NextOffsets(k, prior, priorOfs)
+		if !ok {
+			if k > 0 {
+				res.Retries = k - 1
+			}
+			break
+		}
+		read := c.Chip.ReadPage(b, wl, page, ofs, mathx.Mix3(readSeed, 0x5ead, uint64(k)))
+		res.Latency += c.Lat.PageRead(levels)
+		res.FinalOffsets = ofs
+		errs := make(flash.Bitmap, len(read))
+		for i := range errs {
+			errs[i] = read[i] ^ truth[i]
+		}
+		res.FinalErrors = countUserErrors(errs, userBits)
+		if c.ECC.DecodePage(errs, userBits) {
+			res.OK = true
+			res.Retries = k
+			break
+		}
+		if k >= c.MaxRetries {
+			res.Retries = k
+			break
+		}
+		prior, priorOfs = read, ofs
+	}
+	res.AuxSenses = env.senseOps
+	res.Latency += env.extraCost
+	return res
+}
+
+func countUserErrors(errs flash.Bitmap, userBits int) int {
+	n := 0
+	for i := 0; i < userBits; i++ {
+		if errs.Get(i) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package sentinel
+
+import "testing"
+
+func TestCalibratorValidate(t *testing.T) {
+	if err := DefaultCalibrator().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Calibrator{Delta: 0, MaxSteps: 1}).Validate(); err == nil {
+		t.Fatal("accepted zero delta")
+	}
+	if err := (Calibrator{Delta: 1, MaxSteps: -1}).Validate(); err == nil {
+		t.Fatal("accepted negative steps")
+	}
+}
+
+func TestCalibratorCases(t *testing.T) {
+	c := Calibrator{Delta: 4, MaxSteps: 3}
+	// Moved to -10 with ratio 0.002, NCs = 15 and boundary fraction 1/8:
+	// expected = 15/0.002/8 = 937.5.
+	// NCa = 500 < 937.5: Case 2 (overshoot) — back off toward 0.
+	if got := c.Step(-10, 500, 15, 0.002, 0.125); got != -6 {
+		t.Fatalf("Case 2 step = %v, want -6 (backing off)", got)
+	}
+	// NCa = 1200 > 937.5: Case 1 (undershoot) — tune further down.
+	if got := c.Step(-10, 1200, 15, 0.002, 0.125); got != -14 {
+		t.Fatalf("Case 1 step = %v, want -14", got)
+	}
+}
+
+func TestCalibratorPositiveDirection(t *testing.T) {
+	c := Calibrator{Delta: 2, MaxSteps: 3}
+	// Inferred move was upward (+6).
+	if got := c.Step(6, 1200, 15, 0.002, 0.125); got != 8 {
+		t.Fatalf("Case 1 upward = %v, want 8", got)
+	}
+	if got := c.Step(6, 500, 15, 0.002, 0.125); got != 4 {
+		t.Fatalf("Case 2 upward = %v, want 4", got)
+	}
+}
+
+func TestCalibratorZeroOffsetProbesDown(t *testing.T) {
+	c := Calibrator{Delta: 3, MaxSteps: 3}
+	got := c.Step(0, 1200, 15, 0.002, 0.125)
+	if got != -3 {
+		t.Fatalf("zero-offset Case 1 = %v, want -3", got)
+	}
+}
+
+func TestCalibratorBoundaryEquality(t *testing.T) {
+	// NCa equal to the expectation exactly: treated as Case 2 per the
+	// paper's "otherwise".
+	c := Calibrator{Delta: 1, MaxSteps: 1}
+	if got := c.Step(-5, 750, 15, 0.002, 0.1); got != -4 {
+		t.Fatalf("equality case = %v, want -4", got)
+	}
+}

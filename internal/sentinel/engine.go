@@ -1,0 +1,94 @@
+package sentinel
+
+import (
+	"fmt"
+
+	"sentinel3d/internal/flash"
+)
+
+// Engine binds a trained model, a layout resolved against a concrete chip
+// geometry, and a calibrator. It is the runtime-side object the read
+// controller consults on a read failure; it sees only readouts and the
+// known sentinel pattern, never simulator ground truth.
+type Engine struct {
+	Model  *Model
+	Layout Layout
+	Cal    Calibrator
+
+	indices []int
+	ratio   float64
+	tempC   float64
+}
+
+// NewEngine resolves the layout against cfg and validates the parts.
+func NewEngine(model *Model, layout Layout, cal Calibrator, cfg flash.Config) (*Engine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := layout.Validate(cfg); err != nil {
+		return nil, err
+	}
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Kind != cfg.Kind {
+		return nil, fmt.Errorf("sentinel: model trained for %v used on %v chip",
+			model.Kind, cfg.Kind)
+	}
+	idx := layout.Indices(cfg)
+	return &Engine{
+		Model:   model,
+		Layout:  layout,
+		Cal:     cal,
+		indices: idx,
+		ratio:   float64(len(idx)) / float64(cfg.CellsPerWordline),
+		tempC:   25,
+	}, nil
+}
+
+// SetTemperature tells the engine the controller's on-board temperature
+// reading, selecting the matching correlation band for inference (paper
+// Section III-D).
+func (e *Engine) SetTemperature(tempC float64) { e.tempC = tempC }
+
+// Temperature returns the engine's current temperature setting.
+func (e *Engine) Temperature() float64 { return e.tempC }
+
+// Indices returns the resolved sentinel cell indices.
+func (e *Engine) Indices() []int { return e.indices }
+
+// Ratio returns the effective reserve ratio r.
+func (e *Engine) Ratio() float64 { return e.ratio }
+
+// Prepare overwrites the sentinel cells of a to-be-programmed state slice
+// with the sentinel pattern. FTL write paths call this on every program.
+func (e *Engine) Prepare(states []uint8) {
+	e.Layout.ApplyPattern(states, e.indices, e.Model.SentinelVoltage)
+}
+
+// Infer consumes a single-voltage sense at the *default* sentinel voltage
+// (bit set = sensed above the boundary) and returns the measured
+// error-difference rate together with the inferred full offset vector.
+func (e *Engine) Infer(defaultSense flash.Bitmap) (d float64, offsets flash.Offsets) {
+	d = ErrorDiffRate(defaultSense, e.indices)
+	return d, e.Model.InferAt(d, e.tempC)
+}
+
+// CalibrationStep consumes the default-voltage sense and the sense at the
+// current sentinel offset, applies the state-change rule, and returns the
+// adjusted sentinel offset with its expanded offset vector.
+func (e *Engine) CalibrationStep(curSentOfs float64, defaultSense, curSense flash.Bitmap) (newSentOfs float64, offsets flash.Offsets) {
+	nca := defaultSense.XorCount(curSense)
+	ncs := 0
+	for _, idx := range e.indices {
+		if defaultSense.Get(idx) != curSense.Get(idx) {
+			ncs++
+		}
+	}
+	// Scrambled data places 2/States of the cells in the boundary states
+	// where every sentinel lives.
+	states := len(e.Model.Corr) + 1
+	boundaryFraction := 2 / float64(states)
+	newSentOfs = e.Cal.Step(curSentOfs, nca, ncs, e.ratio, boundaryFraction)
+	return newSentOfs, e.Model.OffsetsFromSentinelAt(newSentOfs, e.tempC)
+}

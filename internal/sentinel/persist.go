@@ -1,0 +1,31 @@
+package sentinel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the trained model as JSON. In production this is the blob
+// "programmed into all the chips of the same batch" (paper Section
+// III-D); here it lets tools train once and reuse the fit.
+func (m *Model) Save(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LoadModel reads a model saved with Save and validates it.
+func LoadModel(r io.Reader) (*Model, error) {
+	var m Model
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("sentinel: decoding model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,70 @@
+package sentinel
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := trainedStub()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.SentinelVoltage != m.SentinelVoltage {
+		t.Fatal("identity fields lost")
+	}
+	if len(got.Corr) != len(m.Corr) {
+		t.Fatal("correlations lost")
+	}
+	for d := -0.04; d <= 0.07; d += 0.01 {
+		if math.Abs(got.InferSentinelOffset(d)-m.InferSentinelOffset(d)) > 1e-12 {
+			t.Fatalf("round-tripped f differs at d=%v", d)
+		}
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	var m Model
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err == nil {
+		t.Fatal("saved an untrained model")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Fatal("loaded garbage")
+	}
+	if _, err := LoadModel(strings.NewReader(`{"Kind":1}`)); err == nil {
+		t.Fatal("loaded untrained model")
+	}
+}
+
+func TestPersistKeepsTemperatureBands(t *testing.T) {
+	m := trainedStub()
+	hot := make([]LinearRel, len(m.Corr))
+	copy(hot, m.Corr)
+	hot[3].Slope = 7.5
+	m.Bands = []TempBand{{MaxTempC: 60, Corr: m.Corr}, {MaxTempC: 120, Corr: hot}}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Bands) != 2 {
+		t.Fatalf("bands lost: %d", len(got.Bands))
+	}
+	if got.CorrFor(100)[3].Slope != 7.5 {
+		t.Fatal("hot band content lost")
+	}
+}

@@ -1,0 +1,244 @@
+package sentinel
+
+import (
+	"fmt"
+
+	"sentinel3d/internal/charlab"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/physics"
+)
+
+// StressPoint is one (P/E, retention) condition visited during training.
+type StressPoint struct {
+	PECycles int
+	Hours    float64
+	TempC    float64
+}
+
+// TrainConfig controls the manufacturing-time characterization that fits
+// the inference model (paper Section III-D: "one or several flash chips
+// are randomly selected for evaluation and analysis ... then the
+// relationships are programmed into all the chips of the same type").
+type TrainConfig struct {
+	// Points is the stress grid to visit.
+	Points []StressPoint
+	// WordlinesPerPoint is how many wordlines are sampled per point.
+	WordlinesPerPoint int
+	// Layout is the sentinel layout the runtime will use.
+	Layout Layout
+	// PolyDegree is the degree of f(d); the paper uses 5.
+	PolyDegree int
+	// MeasureReads is how many reads are averaged per d measurement.
+	MeasureReads int
+	// Seed drives data patterns and read seeds.
+	Seed uint64
+	// TempBandsC optionally lists temperature-band upper edges in C
+	// (ascending, e.g. {40, 90}). When set, one correlation table is
+	// trained per band at the band's midpoint read temperature (paper
+	// Section III-D). The error-difference fit f(d) is temperature-
+	// independent and trained once.
+	TempBandsC []float64
+}
+
+// DefaultTrainConfig covers fresh-to-worn and short-to-year-long retention.
+func DefaultTrainConfig() TrainConfig {
+	pts := make([]StressPoint, 0, 24)
+	for _, pe := range []int{0, 1000, 3000, 5000} {
+		for _, hours := range []float64{0, 24, 168, 720, 2880, physics.YearHours} {
+			pts = append(pts, StressPoint{PECycles: pe, Hours: hours, TempC: physics.RoomTempC})
+		}
+	}
+	return TrainConfig{
+		Points:            pts,
+		WordlinesPerPoint: 12,
+		Layout:            DefaultLayout(),
+		PolyDegree:        5,
+		MeasureReads:      2,
+		Seed:              0x7ea1ed,
+	}
+}
+
+func (tc TrainConfig) validate(cfg flash.Config) error {
+	if err := tc.Layout.Validate(cfg); err != nil {
+		return err
+	}
+	if len(tc.Points) == 0 {
+		return fmt.Errorf("sentinel: no stress points")
+	}
+	if tc.PolyDegree < 1 || tc.PolyDegree > 9 {
+		return fmt.Errorf("sentinel: poly degree %d out of [1,9]", tc.PolyDegree)
+	}
+	if tc.WordlinesPerPoint < 1 {
+		return fmt.Errorf("sentinel: WordlinesPerPoint must be positive")
+	}
+	return nil
+}
+
+// Train fits a Model on the given chip. Block 0 is reprogrammed with
+// random data plus the sentinel pattern, then driven through the stress
+// grid; at each point the error-difference rate of each sampled wordline
+// is measured at the default sentinel voltage and paired with the
+// ground-truth optimal offset located by sweep. The per-voltage
+// correlations are collected from the same sweeps.
+//
+// The chip's block 0 contents and stress state are clobbered.
+func Train(chip *flash.Chip, tc TrainConfig) (*Model, error) {
+	cc := charlab.NewCorrelationCollector(chip.Coding())
+	ds, opts, err := collect(chip, tc, cc)
+	if err != nil {
+		return nil, err
+	}
+	f, err := mathx.PolyFit(ds, opts, tc.PolyDegree)
+	if err != nil {
+		return nil, fmt.Errorf("sentinel: fitting f(d): %w", err)
+	}
+	dLo, dHi := mathx.MinMax(ds)
+	cors := cc.Fit()
+	rels := make([]LinearRel, len(cors))
+	for i, vc := range cors {
+		rels[i] = LinearRel{
+			Voltage: vc.Voltage, Slope: vc.Slope,
+			Intercept: vc.Intercept, R: vc.R,
+		}
+	}
+	m := &Model{
+		Kind:            chip.Config().Kind,
+		SentinelVoltage: chip.Coding().SentinelVoltage(),
+		F:               f,
+		DLo:             dLo,
+		DHi:             dHi,
+		Corr:            rels,
+	}
+	if len(tc.TempBandsC) > 0 {
+		bands, err := trainBands(chip, tc)
+		if err != nil {
+			return nil, err
+		}
+		m.Bands = bands
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// trainBands fits one correlation table per temperature band by sweeping
+// the already-programmed sample wordlines at each band's midpoint read
+// temperature, over a thinned stress grid.
+func trainBands(chip *flash.Chip, tc TrainConfig) ([]TempBand, error) {
+	cfg := chip.Config()
+	coding := chip.Coding()
+	nwl := cfg.WordlinesPerBlock()
+	if tc.WordlinesPerPoint > nwl {
+		tc.WordlinesPerPoint = nwl
+	}
+	wls := make([]int, tc.WordlinesPerPoint)
+	for i := range wls {
+		wls[i] = i * nwl / tc.WordlinesPerPoint
+	}
+	lab := charlab.New(chip)
+	var bands []TempBand
+	lo := physics.RoomTempC - 10
+	for bi, hi := range tc.TempBandsC {
+		if bi > 0 {
+			lo = tc.TempBandsC[bi-1]
+		}
+		mid := (lo + hi) / 2
+		chip.SetReadTemperature(0, mid)
+		cc := charlab.NewCorrelationCollector(coding)
+		for pi, pt := range tc.Points {
+			if pi%2 == 1 {
+				continue // thinned grid per band
+			}
+			st := physics.Stress{PECycles: pt.PECycles}
+			st = st.Aged(chip.Model().P, pt.Hours, pt.TempC).AtReadTemp(mid)
+			chip.SetStress(0, st)
+			lab.Seed = mathx.Mix3(tc.Seed, 0xba2d, uint64(bi*100+pi))
+			if err := cc.Add(lab, 0, wls); err != nil {
+				return nil, err
+			}
+		}
+		cors := cc.Fit()
+		rels := make([]LinearRel, len(cors))
+		for i, vc := range cors {
+			rels[i] = LinearRel{Voltage: vc.Voltage, Slope: vc.Slope,
+				Intercept: vc.Intercept, R: vc.R}
+		}
+		bands = append(bands, TempBand{MaxTempC: hi, Corr: rels})
+	}
+	chip.SetReadTemperature(0, physics.RoomTempC)
+	return bands, nil
+}
+
+// TrainSamples exposes the raw (d, optimal offset) pairs behind Figure
+// 10; it runs the same measurement as Train without fitting.
+func TrainSamples(chip *flash.Chip, tc TrainConfig) (ds, opts []float64, err error) {
+	return collect(chip, tc, nil)
+}
+
+// collect programs sample wordlines, walks the stress grid, and gathers
+// (d, sentinel optimum) pairs; when cc is non-nil it also accumulates
+// full optimal-offset vectors for the correlation fit.
+func collect(chip *flash.Chip, tc TrainConfig, cc *charlab.CorrelationCollector) (ds, opts []float64, err error) {
+	cfg := chip.Config()
+	if err := tc.validate(cfg); err != nil {
+		return nil, nil, err
+	}
+	if tc.MeasureReads < 1 {
+		tc.MeasureReads = 1
+	}
+	coding := chip.Coding()
+	sv := coding.SentinelVoltage()
+	indices := tc.Layout.Indices(cfg)
+	rng := mathx.NewRand(tc.Seed)
+
+	// Sample wordlines spread across the block (and therefore layers).
+	nwl := cfg.WordlinesPerBlock()
+	if tc.WordlinesPerPoint > nwl {
+		tc.WordlinesPerPoint = nwl
+	}
+	wls := make([]int, tc.WordlinesPerPoint)
+	for i := range wls {
+		wls[i] = i * nwl / tc.WordlinesPerPoint
+	}
+
+	// Program sampled wordlines once: random data + sentinel pattern.
+	states := make([]uint8, cfg.CellsPerWordline)
+	for _, wl := range wls {
+		for i := range states {
+			states[i] = uint8(rng.Intn(coding.States()))
+		}
+		tc.Layout.ApplyPattern(states, indices, sv)
+		if err := chip.ProgramStates(0, wl, states); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	lab := charlab.New(chip)
+	model := chip.Model()
+	for pi, pt := range tc.Points {
+		st := physics.Stress{PECycles: pt.PECycles}
+		st = st.Aged(model.P, pt.Hours, pt.TempC)
+		chip.SetStress(0, st)
+		// Vary the lab's read seeds per point so sweeps are independent.
+		lab.Seed = mathx.Mix(tc.Seed, uint64(pi))
+		if cc != nil {
+			if err := cc.Add(lab, 0, wls); err != nil {
+				return nil, nil, err
+			}
+		}
+		for wi, wl := range wls {
+			var d float64
+			for rep := 0; rep < tc.MeasureReads; rep++ {
+				seed := mathx.Mix4(tc.Seed, uint64(pi), uint64(wi), uint64(rep))
+				sense := chip.Sense(0, wl, sv, 0, seed)
+				d += ErrorDiffRate(sense, indices)
+			}
+			d /= float64(tc.MeasureReads)
+			ds = append(ds, d)
+			opts = append(opts, lab.OptimalOffset(0, wl, sv))
+		}
+	}
+	return ds, opts, nil
+}

@@ -1,0 +1,335 @@
+// Package ssdsim is a trace-driven SSD simulator in the mould of SSDSim
+// (Hu et al.): requests are split into page operations, routed through a
+// page-mapped FTL onto a multi-channel/die/plane geometry, and serviced
+// under a two-resource (die sensing, channel transfer) latency model in
+// which a read's service time depends on its retry count.
+//
+// Retry counts come from a RetrySampler built empirically on the
+// threshold-voltage chip simulator for each read policy, which is how the
+// paper's Figure 14 connects chip-level retry behaviour to system-level
+// read latency.
+package ssdsim
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/retry"
+	"sentinel3d/internal/trace"
+)
+
+// RetryOutcome is the observable cost of one chip-level read.
+type RetryOutcome struct {
+	// Retries is the number of re-read attempts after the first read.
+	Retries int
+	// AuxSenses is the number of auxiliary single-voltage reads.
+	AuxSenses int
+}
+
+// RetrySampler yields retry outcomes for reads of a given page type
+// (0 = LSB ... bits-1 = MSB).
+type RetrySampler interface {
+	Sample(pageType int, rng *mathx.Rand) RetryOutcome
+}
+
+// FixedSampler returns the same outcome for every read; useful for
+// baselines and tests.
+type FixedSampler struct{ Outcome RetryOutcome }
+
+// Sample implements RetrySampler.
+func (f FixedSampler) Sample(int, *mathx.Rand) RetryOutcome { return f.Outcome }
+
+// EmpiricalSampler draws uniformly from per-page-type outcome pools
+// measured on the chip simulator.
+type EmpiricalSampler struct {
+	// PerPage[p] holds the measured outcomes for page type p.
+	PerPage [][]RetryOutcome
+}
+
+// Sample implements RetrySampler.
+func (e *EmpiricalSampler) Sample(pageType int, rng *mathx.Rand) RetryOutcome {
+	pool := e.PerPage[pageType%len(e.PerPage)]
+	if len(pool) == 0 {
+		return RetryOutcome{}
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// MeanRetries returns the average retry count of page type p's pool.
+func (e *EmpiricalSampler) MeanRetries(p int) float64 {
+	pool := e.PerPage[p]
+	if len(pool) == 0 {
+		return 0
+	}
+	s := 0
+	for _, o := range pool {
+		s += o.Retries
+	}
+	return float64(s) / float64(len(pool))
+}
+
+// BuildSampler measures retry outcomes on a chip through a retry
+// controller and policy: every page of every listed wordline is read
+// reps times. The resulting pools feed the trace-driven simulation.
+func BuildSampler(ctl *retry.Controller, pol retry.Policy, b int, wls []int, reps int, seed uint64) (*EmpiricalSampler, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("ssdsim: reps must be positive")
+	}
+	bits := ctl.Chip.Coding().Bits()
+	out := &EmpiricalSampler{PerPage: make([][]RetryOutcome, bits)}
+	for _, wl := range wls {
+		if !ctl.Chip.IsProgrammed(b, wl) {
+			return nil, fmt.Errorf("ssdsim: wordline %d not programmed", wl)
+		}
+		for p := 0; p < bits; p++ {
+			for rep := 0; rep < reps; rep++ {
+				res := ctl.Read(b, wl, p, pol, mathx.Mix4(seed, uint64(wl), uint64(p), uint64(rep)))
+				out.PerPage[p] = append(out.PerPage[p],
+					RetryOutcome{Retries: res.Retries, AuxSenses: res.AuxSenses})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Geo is the SSD geometry.
+	Geo ftl.Geometry
+	// Lat is the chip-level latency model shared with the retry layer.
+	Lat retry.LatencyModel
+	// Bits per cell: page type of physical page i is i % Bits.
+	Bits int
+	// ProgramUS is the page program time; EraseUS the block erase time.
+	ProgramUS float64
+	EraseUS   float64
+	// Seed drives retry sampling.
+	Seed uint64
+}
+
+// DefaultConfig returns a TLC SSD configuration.
+func DefaultConfig() Config {
+	return Config{
+		Geo:       ftl.DefaultGeometry(),
+		Lat:       retry.DefaultLatency(),
+		Bits:      3,
+		ProgramUS: 700,
+		EraseUS:   5000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geo.Validate(); err != nil {
+		return err
+	}
+	if err := c.Lat.Validate(); err != nil {
+		return err
+	}
+	if c.Bits < 2 || c.Bits > 4 {
+		return fmt.Errorf("ssdsim: bits %d out of [2,4]", c.Bits)
+	}
+	if c.Geo.PagesPerBlock%c.Bits != 0 {
+		return fmt.Errorf("ssdsim: pages per block %d not divisible by %d bits",
+			c.Geo.PagesPerBlock, c.Bits)
+	}
+	if c.ProgramUS <= 0 || c.EraseUS <= 0 {
+		return fmt.Errorf("ssdsim: non-positive program/erase time")
+	}
+	return nil
+}
+
+// levelsOf returns the number of read voltages a page type applies under
+// the inverted-Gray coding (1, 2, 4, 8 for pages 0..3).
+func levelsOf(pageType int) int { return 1 << pageType }
+
+// Report aggregates a run's results.
+type Report struct {
+	Requests      int
+	Reads         int
+	Writes        int
+	ReadLatencies []float64 // per read request, µs
+	MeanReadUS    float64
+	P95ReadUS     float64
+	P99ReadUS     float64
+	MeanWriteUS   float64
+	TotalRetries  int64
+	GCWrites      int64
+}
+
+func (r *Report) finalize(writeSum float64) {
+	if len(r.ReadLatencies) > 0 {
+		r.MeanReadUS = mathx.Mean(r.ReadLatencies)
+		r.P95ReadUS = mathx.Percentile(r.ReadLatencies, 95)
+		r.P99ReadUS = mathx.Percentile(r.ReadLatencies, 99)
+	}
+	if r.Writes > 0 {
+		r.MeanWriteUS = writeSum / float64(r.Writes)
+	}
+}
+
+// Sim runs traces against one SSD instance.
+type Sim struct {
+	cfg     Config
+	ftl     *ftl.FTL
+	sampler RetrySampler
+	rng     *mathx.Rand
+
+	dieFree  []float64
+	chanFree []float64
+}
+
+// New builds a simulator.
+func New(cfg Config, sampler RetrySampler) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("ssdsim: nil sampler")
+	}
+	f, err := ftl.New(cfg.Geo)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{
+		cfg:      cfg,
+		ftl:      f,
+		sampler:  sampler,
+		rng:      mathx.NewRand(cfg.Seed ^ 0x55d51a1),
+		dieFree:  make([]float64, cfg.Geo.Dies()),
+		chanFree: make([]float64, cfg.Geo.Channels),
+	}, nil
+}
+
+// Precondition maps every LPN a trace will read, so reads hit valid data
+// (SSDSim warms the device the same way). It costs no simulated time.
+func (s *Sim) Precondition(reqs []trace.Request) error {
+	seen := make(map[int64]bool)
+	for _, r := range reqs {
+		for p := 0; p < r.Pages; p++ {
+			lpn := r.LPN + int64(p)
+			if !seen[lpn] {
+				seen[lpn] = true
+			}
+		}
+	}
+	// Write in sorted order for reproducibility.
+	lpns := make([]int64, 0, len(seen))
+	for lpn := range seen {
+		lpns = append(lpns, lpn)
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	for _, lpn := range lpns {
+		if _, err := s.ftl.Write(lpn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run services the requests in arrival order and returns the report.
+// Within a request, page operations are issued in order; the request
+// completes when its last page does.
+func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
+	rep := &Report{Requests: len(reqs)}
+	var writeSum float64
+	for _, r := range reqs {
+		end := r.ArriveUS
+		for p := 0; p < r.Pages; p++ {
+			lpn := r.LPN + int64(p)
+			var done float64
+			var err error
+			if r.Op == trace.Read {
+				done, err = s.readPage(r.ArriveUS, lpn, rep)
+			} else {
+				done, err = s.writePage(r.ArriveUS, lpn)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if done > end {
+				end = done
+			}
+		}
+		lat := end - r.ArriveUS
+		if r.Op == trace.Read {
+			rep.Reads++
+			rep.ReadLatencies = append(rep.ReadLatencies, lat)
+		} else {
+			rep.Writes++
+			writeSum += lat
+		}
+	}
+	rep.GCWrites = s.ftl.GCWrites
+	rep.finalize(writeSum)
+	return rep, nil
+}
+
+// readPage services one page read: sense on the die (repeated per retry),
+// then transfer per attempt on the channel.
+func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) {
+	ppn, ok := s.ftl.Translate(lpn)
+	if !ok {
+		// Read of never-written data: serviced from the mapping table
+		// without touching flash (returns zeros), a fixed small cost.
+		return arrive + 5, nil
+	}
+	pageType := ppn.Page % s.cfg.Bits
+	out := s.sampler.Sample(pageType, s.rng)
+	rep.TotalRetries += int64(out.Retries)
+	attempts := float64(out.Retries + 1)
+	lat := s.cfg.Lat
+	dieTime := attempts*(lat.SenseBase+float64(levelsOf(pageType))*lat.SensePerLevel) +
+		float64(out.AuxSenses)*(lat.SenseBase+lat.SensePerLevel)
+	chanTime := attempts*(lat.Transfer+lat.ECCDecode) +
+		float64(out.AuxSenses)*lat.Transfer
+
+	die := s.cfg.Geo.Die(ppn.Plane)
+	ch := s.cfg.Geo.Channel(ppn.Plane)
+	senseStart := maxf(arrive, s.dieFree[die])
+	senseEnd := senseStart + dieTime
+	s.dieFree[die] = senseEnd
+	xferStart := maxf(senseEnd, s.chanFree[ch])
+	xferEnd := xferStart + chanTime
+	s.chanFree[ch] = xferEnd
+	return xferEnd, nil
+}
+
+// writePage services one page write: transfer on the channel, program on
+// the die; GC work (migrations, erases) occupies the die.
+func (s *Sim) writePage(arrive float64, lpn int64) (float64, error) {
+	res, err := s.ftl.Write(lpn)
+	if err != nil {
+		return 0, err
+	}
+	lat := s.cfg.Lat
+	die := s.cfg.Geo.Die(res.Target.Plane)
+	ch := s.cfg.Geo.Channel(res.Target.Plane)
+
+	xferStart := maxf(arrive, s.chanFree[ch])
+	xferEnd := xferStart + lat.Transfer
+	s.chanFree[ch] = xferEnd
+
+	dieTime := s.cfg.ProgramUS
+	// GC migrations: an internal read (mid page cost) plus a program per
+	// page, and the erase.
+	if n := len(res.Migrations); n > 0 {
+		migRead := lat.SenseBase + float64(levelsOf(s.cfg.Bits-1))*lat.SensePerLevel
+		dieTime += float64(n) * (migRead + s.cfg.ProgramUS)
+	}
+	dieTime += float64(res.ErasedBlocks) * s.cfg.EraseUS
+
+	progStart := maxf(xferEnd, s.dieFree[die])
+	progEnd := progStart + dieTime
+	s.dieFree[die] = progEnd
+	return progEnd, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,248 @@
+package ssdsim
+
+import (
+	"math"
+	"testing"
+
+	"sentinel3d/internal/ecc"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/retry"
+	"sentinel3d/internal/trace"
+)
+
+func testSSDConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geo = ftl.Geometry{
+		Channels: 2, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 16, PagesPerBlock: 96,
+	}
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testSSDConfig()
+	bad.Bits = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted 5 bits")
+	}
+	bad = testSSDConfig()
+	bad.Geo.PagesPerBlock = 97
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted non-divisible pages per block")
+	}
+	bad = testSSDConfig()
+	bad.ProgramUS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted zero program time")
+	}
+	if _, err := New(testSSDConfig(), nil); err == nil {
+		t.Fatal("accepted nil sampler")
+	}
+}
+
+func TestReadLatencyScalesWithRetries(t *testing.T) {
+	spec, _ := trace.WorkloadByName("mds_0")
+	spec.WorkingSetPages = 1 << 12
+	reqs, err := trace.Generate(spec, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(retries int) float64 {
+		s, err := New(testSSDConfig(), FixedSampler{RetryOutcome{Retries: retries}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Precondition(reqs); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MeanReadUS
+	}
+	l0, l6 := run(0), run(6)
+	if l6 <= l0*2 {
+		t.Fatalf("6 retries (%v µs) should be far slower than 0 (%v µs)", l6, l0)
+	}
+}
+
+func TestReportStatistics(t *testing.T) {
+	spec, _ := trace.WorkloadByName("hm_0")
+	spec.WorkingSetPages = 1 << 12
+	reqs, _ := trace.Generate(spec, 5000, 2)
+	s, err := New(testSSDConfig(), FixedSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 5000 || rep.Reads+rep.Writes != 5000 {
+		t.Fatalf("counts wrong: %+v", rep)
+	}
+	if len(rep.ReadLatencies) != rep.Reads {
+		t.Fatal("latency list length mismatch")
+	}
+	if rep.MeanReadUS <= 0 || rep.P99ReadUS < rep.P95ReadUS ||
+		rep.P95ReadUS < rep.MeanReadUS*0.2 {
+		t.Fatalf("stats implausible: %+v", rep)
+	}
+	if rep.MeanWriteUS <= 0 {
+		t.Fatal("no write latency recorded")
+	}
+}
+
+func TestUnmappedReadCheap(t *testing.T) {
+	s, err := New(testSSDConfig(), FixedSampler{RetryOutcome{Retries: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []trace.Request{{ArriveUS: 0, Op: trace.Read, LPN: 1234, Pages: 1}}
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReadLatencies[0] > 10 {
+		t.Fatalf("unmapped read cost %v µs", rep.ReadLatencies[0])
+	}
+}
+
+func TestQueueingDelaysBursts(t *testing.T) {
+	// Two back-to-back reads of the same page must queue on the die.
+	s, err := New(testSSDConfig(), FixedSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []trace.Request{{Op: trace.Read, LPN: 0, Pages: 1}}
+	if err := s.Precondition(pre); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []trace.Request{
+		{ArriveUS: 0, Op: trace.Read, LPN: 0, Pages: 1},
+		{ArriveUS: 0, Op: trace.Read, LPN: 0, Pages: 1},
+	}
+	rep, err := s.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReadLatencies[1] <= rep.ReadLatencies[0] {
+		t.Fatalf("no queueing: %v then %v", rep.ReadLatencies[0], rep.ReadLatencies[1])
+	}
+}
+
+func TestEmpiricalSampler(t *testing.T) {
+	e := &EmpiricalSampler{PerPage: [][]RetryOutcome{
+		{{Retries: 0}},
+		{{Retries: 1}, {Retries: 3}},
+		{{Retries: 5}},
+	}}
+	rng := mathx.NewRand(1)
+	if got := e.Sample(0, rng); got.Retries != 0 {
+		t.Fatal("page 0 sample wrong")
+	}
+	if m := e.MeanRetries(1); m != 2 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+	for i := 0; i < 20; i++ {
+		r := e.Sample(1, rng).Retries
+		if r != 1 && r != 3 {
+			t.Fatalf("unexpected sample %d", r)
+		}
+	}
+	// Empty pool yields zero outcome.
+	empty := &EmpiricalSampler{PerPage: [][]RetryOutcome{{}}}
+	if got := empty.Sample(0, rng); got.Retries != 0 {
+		t.Fatal("empty pool sample wrong")
+	}
+}
+
+func TestBuildSamplerFromChip(t *testing.T) {
+	// Integration: measure a real chip's retry distribution and confirm
+	// the sampler reflects aging.
+	cfg := flash.Config{
+		Kind: flash.TLC, Blocks: 1, Layers: 8, WordlinesPerLayer: 2,
+		CellsPerWordline: 8192, OOBFraction: 0.119, Seed: 11, CacheZ: true,
+	}
+	chip := flash.MustNew(cfg)
+	rng := mathx.NewRand(1)
+	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+		chip.ProgramRandom(0, wl, rng)
+	}
+	chip.Cycle(0, 5000)
+	chip.Age(0, physics.YearHours, physics.RoomTempC)
+	ctl, err := retry.NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 14},
+		retry.DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := retry.NewDefaultTable(chip, 2)
+	sampler, err := BuildSampler(ctl, pol, 0, []int{0, 1, 2, 3}, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sampler.PerPage) != 3 {
+		t.Fatalf("%d page pools", len(sampler.PerPage))
+	}
+	for p, pool := range sampler.PerPage {
+		if len(pool) != 8 {
+			t.Fatalf("page %d pool size %d", p, len(pool))
+		}
+	}
+	// MSB pages should retry at least as much as LSB pages on average.
+	if sampler.MeanRetries(2) < sampler.MeanRetries(0) {
+		t.Fatalf("MSB mean %v < LSB mean %v",
+			sampler.MeanRetries(2), sampler.MeanRetries(0))
+	}
+	// Reps must be positive; unprogrammed wordlines rejected.
+	if _, err := BuildSampler(ctl, pol, 0, []int{0}, 0, 1); err == nil {
+		t.Fatal("accepted zero reps")
+	}
+	empty := flash.MustNew(cfg)
+	ctl2, _ := retry.NewController(empty, ecc.DefaultCapability(), retry.DefaultLatency(), 5)
+	if _, err := BuildSampler(ctl2, pol, 0, []int{0}, 1, 1); err == nil {
+		t.Fatal("accepted unprogrammed wordline")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	spec, _ := trace.WorkloadByName("wdev_0")
+	spec.WorkingSetPages = 1 << 12
+	reqs, _ := trace.Generate(spec, 2000, 5)
+	run := func() float64 {
+		s, err := New(testSSDConfig(), FixedSampler{RetryOutcome{Retries: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Precondition(reqs); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MeanReadUS
+	}
+	if a, b := run(), run(); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestLevelsOf(t *testing.T) {
+	want := []int{1, 2, 4, 8}
+	for p, w := range want {
+		if levelsOf(p) != w {
+			t.Fatalf("levelsOf(%d) = %d, want %d", p, levelsOf(p), w)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace provides block-level I/O traces for the SSD simulator: a
+// parser for MSR-Cambridge-format CSV traces and synthetic generators for
+// eight workloads whose shapes (read ratio, arrival burstiness, request
+// sizes, access locality) follow the published summary statistics of the
+// MSR volumes used in the paper's Figure 14.
+//
+// The real MSR traces are not redistributable, so the generators stand in
+// for them; what Figure 14 measures is *relative* read-latency reduction,
+// which depends on read intensity and arrival structure rather than the
+// exact block addresses.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Op is the request type.
+type Op int
+
+const (
+	// Read is a host read request.
+	Read Op = iota
+	// Write is a host write request.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Request is one block-level I/O.
+type Request struct {
+	// ArriveUS is the arrival time in microseconds from trace start.
+	ArriveUS float64
+	// Op is Read or Write.
+	Op Op
+	// LPN is the first logical page (4 KiB units) touched.
+	LPN int64
+	// Pages is the number of consecutive logical pages.
+	Pages int
+}
+
+// PageBytes is the logical page size used for LPN accounting.
+const PageBytes = 4096
+
+// ParseMSR reads an MSR Cambridge CSV trace:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamp is in Windows filetime (100ns ticks); Offset and Size are in
+// bytes. Unparseable lines yield an error with the line number.
+func ParseMSR(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Request
+	var t0 int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want >= 6", line, len(f))
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp: %w", line, err)
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(f[3])) {
+		case "read":
+			op = Read
+		case "write":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad type %q", line, f[3])
+		}
+		off, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad offset: %w", line, err)
+		}
+		size, err := strconv.ParseInt(f[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad size: %w", line, err)
+		}
+		if len(out) == 0 {
+			t0 = ts
+		}
+		pages := int((off%PageBytes + size + PageBytes - 1) / PageBytes)
+		if pages < 1 {
+			pages = 1
+		}
+		out = append(out, Request{
+			ArriveUS: float64(ts-t0) / 10.0, // 100ns ticks -> µs
+			Op:       op,
+			LPN:      off / PageBytes,
+			Pages:    pages,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ArriveUS < out[j].ArriveUS })
+	return out, nil
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Requests   int
+	Reads      int
+	ReadFrac   float64
+	TotalPages int
+	AvgPages   float64
+	DurationUS float64
+}
+
+// Summarize computes Stats for a request slice.
+func Summarize(reqs []Request) Stats {
+	var s Stats
+	s.Requests = len(reqs)
+	for _, r := range reqs {
+		if r.Op == Read {
+			s.Reads++
+		}
+		s.TotalPages += r.Pages
+	}
+	if len(reqs) > 0 {
+		s.ReadFrac = float64(s.Reads) / float64(len(reqs))
+		s.AvgPages = float64(s.TotalPages) / float64(len(reqs))
+		s.DurationUS = reqs[len(reqs)-1].ArriveUS - reqs[0].ArriveUS
+	}
+	return s
+}
