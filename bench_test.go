@@ -8,22 +8,70 @@
 //
 //	go test -bench=. -benchmem                   # quick
 //	SENTINEL3D_SCALE=full go test -bench=Fig13   # full fidelity
+//
+// Worker selection: the experiments fan out per-wordline work across
+// all CPUs by default; SENTINEL3D_WORKERS pins the worker count (the
+// reported metrics are identical at any setting, only the time/op
+// changes). BenchmarkParallelSpeedup compares 1 worker against all
+// CPUs directly.
 package sentinel3d_test
 
 import (
+	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 )
+
+func TestMain(m *testing.M) {
+	if v := os.Getenv("SENTINEL3D_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad SENTINEL3D_WORKERS %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		parallel.SetWorkers(n)
+	}
+	os.Exit(m.Run())
+}
 
 func benchScale() experiments.Scale {
 	if os.Getenv("SENTINEL3D_SCALE") == "full" {
 		return experiments.Full()
 	}
 	return experiments.Quick()
+}
+
+// BenchmarkParallelSpeedup runs a fan-out-heavy experiment at one worker
+// and at all CPUs; the ratio of the two times is the parallel speedup of
+// the experiment engine on this machine. The trained-model cache is
+// warmed first so neither sub-benchmark pays the one-off training cost.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	s := benchScale()
+	if _, err := experiments.Fig13RetryCount(s); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			defer parallel.SetWorkers(parallel.SetWorkers(w))
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig13RetryCount(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFig2ErrorVsOffset(b *testing.B) {

@@ -20,6 +20,7 @@ import (
 	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 )
 
 func main() {
@@ -34,8 +35,10 @@ func main() {
 		sweepV    = flag.Int("sweep", 0, "also print the error-vs-offset sweep of this voltage (0 = none)")
 		seed      = flag.Uint64("seed", 1, "chip instance seed")
 		full      = flag.Bool("full", false, "use full physical wordline width (slow)")
+		workers   = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	var kind flash.Kind
 	switch strings.ToLower(*kindStr) {
@@ -55,7 +58,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := mathx.NewRand(*seed ^ 0xf1a5)
 	n := *wordlines
 	if n > cfg.WordlinesPerBlock() {
 		n = cfg.WordlinesPerBlock()
@@ -63,8 +65,13 @@ func main() {
 	wls := make([]int, n)
 	for i := range wls {
 		wls[i] = i * cfg.WordlinesPerBlock() / n
-		chip.ProgramRandom(0, wls[i], rng)
 	}
+	// Each wordline gets its own RNG stream keyed by its index, so the
+	// programmed data does not depend on the worker count.
+	parallel.ForEach(len(wls), func(i int) {
+		rng := mathx.NewRand(mathx.Mix(*seed^0xf1a5, uint64(wls[i])))
+		chip.ProgramRandom(0, wls[i], rng)
+	})
 	chip.Cycle(0, *pe)
 	chip.Age(0, *hours, *temp)
 
@@ -79,19 +86,18 @@ func main() {
 		header = append(header, chip.Coding().PageName(p)+" RBER")
 	}
 	header = append(header, "MSB RBER@opt", "Vsent opt")
-	var rows [][]string
 	sv := chip.Coding().SentinelVoltage()
-	for _, wl := range wls {
+	rows := parallel.Map(len(wls), func(i int) []string {
+		wl := wls[i]
 		row := []string{fmt.Sprint(wl), fmt.Sprint(chip.LayerOf(wl))}
 		for p := 0; p < kind.Bits(); p++ {
 			row = append(row, fmt.Sprintf("%.3g", lab.PageRBER(0, wl, p, nil)))
 		}
 		opt := lab.OptimalOffsets(0, wl)
-		row = append(row,
+		return append(row,
 			fmt.Sprintf("%.3g", lab.PageRBER(0, wl, kind.Bits()-1, opt)),
 			fmt.Sprintf("%.1f", opt.Get(sv)))
-		rows = append(rows, row)
-	}
+	})
 	fmt.Print(experiments.Table(header, rows))
 
 	if *sweepV > 0 {

@@ -19,6 +19,7 @@ import (
 
 	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/flash"
+	"sentinel3d/internal/parallel"
 )
 
 type renderer interface{ Render() string }
@@ -31,8 +32,10 @@ func main() {
 		scaleStr = flag.String("scale", "quick", "quick or full")
 		kindStr  = flag.String("kind", "both", "tlc, qlc or both (where applicable)")
 		requests = flag.Int("requests", 6000, "trace requests per workload (fig14)")
+		workers  = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	var scale experiments.Scale
 	switch *scaleStr {

@@ -15,9 +15,15 @@ import (
 
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 )
 
 // Lab wraps a chip with sweep settings.
+//
+// A Lab holds no mutable measurement state: once its fields are set, any
+// number of goroutines may call its measurement methods concurrently
+// (the block-scan helpers below do exactly that). Do not change the
+// fields, or mutate the chip, while measurements are in flight.
 type Lab struct {
 	Chip *flash.Chip
 
@@ -179,18 +185,29 @@ func (l *Lab) LayerMaxRBER(b, page int) []LayerRBER {
 		out[i].DefaultMax = -1
 		out[i].OptimalMax = -1
 	}
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+	type wlRBER struct {
+		def, opt float64
+		skip     bool
+	}
+	perWL := parallel.Map(cfg.WordlinesPerBlock(), func(wl int) wlRBER {
 		if !l.Chip.IsProgrammed(b, wl) {
+			return wlRBER{skip: true}
+		}
+		return wlRBER{
+			def: l.PageRBER(b, wl, page, nil),
+			opt: l.PageRBER(b, wl, page, l.OptimalOffsets(b, wl)),
+		}
+	})
+	for wl, r := range perWL {
+		if r.skip {
 			continue
 		}
 		layer := l.Chip.LayerOf(wl)
-		def := l.PageRBER(b, wl, page, nil)
-		opt := l.PageRBER(b, wl, page, l.OptimalOffsets(b, wl))
-		if def > out[layer].DefaultMax {
-			out[layer].DefaultMax = def
+		if r.def > out[layer].DefaultMax {
+			out[layer].DefaultMax = r.def
 		}
-		if opt > out[layer].OptimalMax {
-			out[layer].OptimalMax = opt
+		if r.opt > out[layer].OptimalMax {
+			out[layer].OptimalMax = r.opt
 		}
 	}
 	// Drop layers with no programmed wordlines.
@@ -278,10 +295,10 @@ func (l *Lab) CollectErrorMap(b, segments int) *ErrorMap {
 		}
 		return s
 	}
-	for wl := 0; wl < nwl; wl++ {
+	parallel.ForEach(nwl, func(wl int) {
 		m.SegmentCounts[wl] = make([]int, segments)
 		if !l.Chip.IsProgrammed(b, wl) {
-			continue
+			return
 		}
 		for p := 0; p < l.Chip.Coding().Bits(); p++ {
 			read := l.Chip.ReadPage(b, wl, p, nil, l.readSeed(b, wl, 200+p))
@@ -293,7 +310,7 @@ func (l *Lab) CollectErrorMap(b, segments int) *ErrorMap {
 				}
 			}
 		}
-	}
+	})
 	return m
 }
 
@@ -335,13 +352,19 @@ func NewCorrelationCollector(coding *flash.Coding) *CorrelationCollector {
 
 // Add sweeps the given wordlines of block b at the chip's *current* stress
 // state and records their optima. Call it repeatedly between aging steps.
+// The sweeps fan out per wordline; optima are recorded in wls order.
 func (cc *CorrelationCollector) Add(l *Lab, b int, wls []int) error {
-	for _, wl := range wls {
+	optima, err := parallel.MapErr(len(wls), func(i int) (flash.Offsets, error) {
+		wl := wls[i]
 		if !l.Chip.IsProgrammed(b, wl) {
-			return fmt.Errorf("charlab: wordline %d not programmed", wl)
+			return nil, fmt.Errorf("charlab: wordline %d not programmed", wl)
 		}
-		cc.optima = append(cc.optima, l.OptimalOffsets(b, wl))
+		return l.OptimalOffsets(b, wl), nil
+	})
+	if err != nil {
+		return err
 	}
+	cc.optima = append(cc.optima, optima...)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/sentinel"
@@ -54,15 +55,22 @@ func AblatePlacement(s Scale, kind flash.Kind) (*PlacementAblationResult, error)
 		}
 		lab := charlab.New(chip)
 		sv := model.SentinelVoltage
-		var all, grad []float64
-		for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+		type wlErr struct {
+			e      float64
+			isGrad bool
+		}
+		perWL := parallel.Map(cfg.WordlinesPerBlock(), func(wl int) wlErr {
 			sense := chip.Sense(0, wl, sv, 0, mathx.Mix(0x13c, uint64(wl)))
 			_, inferred := eng.Infer(sense)
 			e := math.Abs(inferred.Get(sv) - lab.OptimalOffset(0, wl, sv))
-			all = append(all, e)
 			g := chip.Model().WLGradient(uint64(wl))
-			if math.Abs(g) > chip.Model().P.GradientStd {
-				grad = append(grad, e)
+			return wlErr{e: e, isGrad: math.Abs(g) > chip.Model().P.GradientStd}
+		})
+		var all, grad []float64
+		for _, w := range perWL {
+			all = append(all, w.e)
+			if w.isGrad {
+				grad = append(grad, w.e)
 			}
 		}
 		mean, gradMean := mathx.Mean(all), mathx.Mean(grad)
@@ -133,8 +141,9 @@ func AblateCalibrationDelta(s Scale) (*DeltaAblationResult, error) {
 		var sum float64
 		fails := 0
 		n := cfg.WordlinesPerBlock()
-		for wl := 0; wl < n; wl++ {
-			r := ctl.Read(0, wl, msb, pol, mathx.Mix(0x13d, uint64(wl)))
+		for _, r := range parallel.Map(n, func(wl int) retry.Result {
+			return ctl.Read(0, wl, msb, pol, mathx.Mix(0x13d, uint64(wl)))
+		}) {
 			sum += float64(r.Retries)
 			if !r.OK {
 				fails++
@@ -199,15 +208,19 @@ func AblateCombined(s Scale) (*CombinedAblationResult, error) {
 	res := &CombinedAblationResult{}
 	msb := chip.Coding().Bits() - 1
 	n := cfg.WordlinesPerBlock()
-	for wl := 0; wl < n; wl++ {
-		rS := ctl.Read(0, wl, msb, sent, mathx.Mix(0x13e, uint64(wl)))
-		rC := ctl.Read(0, wl, msb, combined, mathx.Mix(0x13f, uint64(wl)))
-		res.SentinelRetries += float64(rS.Retries)
-		res.CombinedRetries += float64(rC.Retries)
-		if rS.OK && rS.Retries == 0 {
+	type wlRead struct{ sent, combined retry.Result }
+	for _, r := range parallel.Map(n, func(wl int) wlRead {
+		return wlRead{
+			sent:     ctl.Read(0, wl, msb, sent, mathx.Mix(0x13e, uint64(wl))),
+			combined: ctl.Read(0, wl, msb, combined, mathx.Mix(0x13f, uint64(wl))),
+		}
+	}) {
+		res.SentinelRetries += float64(r.sent.Retries)
+		res.CombinedRetries += float64(r.combined.Retries)
+		if r.sent.OK && r.sent.Retries == 0 {
 			res.SentinelFirstOK++
 		}
-		if rC.OK && rC.Retries == 0 {
+		if r.combined.OK && r.combined.Retries == 0 {
 			res.CombinedFirstOK++
 		}
 	}

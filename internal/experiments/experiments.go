@@ -15,6 +15,7 @@ import (
 	"sentinel3d/internal/ecc"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/sentinel"
@@ -181,26 +182,29 @@ func (s Scale) TrainModel(kind flash.Kind, trainSeed uint64) (*sentinel.Model, e
 
 // BuildEvalChip creates an evaluation chip with every wordline programmed
 // (random data plus the sentinel pattern) and aged to (pe, hours at room
-// temperature).
+// temperature). Wordlines are programmed concurrently, each from its own
+// RNG stream split from the chip seed and keyed by wordline index, so the
+// programmed data is identical at any worker count.
 func (s Scale) BuildEvalChip(kind flash.Kind, seed uint64, eng *sentinel.Engine, pe int, hours float64) (*flash.Chip, error) {
 	cfg := s.ChipConfig(kind, seed)
 	chip, err := flash.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rng := mathx.NewRand(mathx.Mix(seed, 0xda7a))
-	states := make([]uint8, cfg.CellsPerWordline)
 	nStates := chip.Coding().States()
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+	err = parallel.ForEachErr(cfg.WordlinesPerBlock(), func(wl int) error {
+		rng := mathx.NewRand(mathx.Mix3(seed, 0xda7c, uint64(wl)))
+		states := make([]uint8, cfg.CellsPerWordline)
 		for i := range states {
 			states[i] = uint8(rng.Intn(nStates))
 		}
 		if eng != nil {
 			eng.Prepare(states)
 		}
-		if err := chip.ProgramStates(0, wl, states); err != nil {
-			return nil, err
-		}
+		return chip.ProgramStates(0, wl, states)
+	})
+	if err != nil {
+		return nil, err
 	}
 	chip.Cycle(0, pe)
 	chip.Age(0, hours, physics.RoomTempC)

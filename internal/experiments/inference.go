@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/sentinel"
 )
@@ -68,12 +69,15 @@ func Fig10InferenceFit(s Scale, kind flash.Kind) (*Fig10Result, error) {
 	lab := charlab.New(chip)
 	sv := model.SentinelVoltage
 	res := &Fig10Result{Kind: kind, DS: ds, Opts: opts, F: model.F}
-	for wl := 0; wl < chip.Config().WordlinesPerBlock(); wl++ {
+	nwl := chip.Config().WordlinesPerBlock()
+	res.Inferred = make([]float64, nwl)
+	res.Truth = make([]float64, nwl)
+	parallel.ForEach(nwl, func(wl int) {
 		sense := chip.Sense(0, wl, sv, 0, mathx.Mix(0xf10, uint64(wl)))
 		_, inferred := eng.Infer(sense)
-		res.Inferred = append(res.Inferred, inferred.Get(sv))
-		res.Truth = append(res.Truth, lab.OptimalOffset(0, wl, sv))
-	}
+		res.Inferred[wl] = inferred.Get(sv)
+		res.Truth[wl] = lab.OptimalOffset(0, wl, sv)
+	})
 	return res, nil
 }
 
@@ -156,10 +160,10 @@ func Table1SentinelRatio(s Scale, kind flash.Kind) (*Table1Result, error) {
 	// Ground truth once per wordline.
 	truth := make([]float64, nwl)
 	senses := make([]flash.Bitmap, nwl)
-	for wl := 0; wl < nwl; wl++ {
+	parallel.ForEach(nwl, func(wl int) {
 		truth[wl] = lab.OptimalOffset(0, wl, sv)
 		senses[wl] = chip.Sense(0, wl, sv, 0, mathx.Mix(0x7ab1e, uint64(wl)))
-	}
+	})
 
 	res := &Table1Result{Kind: kind}
 	allIdx := maxLayout.Indices(evalCfg)
@@ -173,12 +177,11 @@ func Table1SentinelRatio(s Scale, kind flash.Kind) (*Table1Result, error) {
 			count = len(allIdx)
 		}
 		idx := allIdx[:count]
-		var diffs []float64
-		for wl := 0; wl < nwl; wl++ {
+		diffs := parallel.Map(nwl, func(wl int) float64 {
 			d := sentinel.ErrorDiffRate(senses[wl], idx)
 			pred := model.InferSentinelOffset(d)
-			diffs = append(diffs, math.Abs(pred-truth[wl]))
-		}
+			return math.Abs(pred - truth[wl])
+		})
 		res.Rows = append(res.Rows, Table1Row{
 			Ratio: r0, Mean: mathx.Mean(diffs), StdDev: mathx.StdDev(diffs),
 			Count: count,
@@ -228,10 +231,12 @@ func Fig12StateChange(s Scale) (*Fig12Result, error) {
 	sums := make([]float64, len(pos))
 	nwl := chip.Config().WordlinesPerBlock()
 	counted := 0
-	for wl := 0; wl < nwl; wl++ {
+	// Each wordline's normalized curve is independent; fan out, then fold
+	// the per-wordline curves serially in wordline order.
+	perWL := parallel.Map(nwl, func(wl int) []float64 {
 		opt := lab.OptimalOffset(0, wl, sv)
 		if opt >= -4 {
-			continue // need a clear downward move for the window to exist
+			return nil // need a clear downward move for the window to exist
 		}
 		defSense := chip.Sense(0, wl, sv, 0, mathx.Mix(0x12a, uint64(wl)))
 		base := -1.0
@@ -244,10 +249,19 @@ func Fig12StateChange(s Scale) (*Fig12Result, error) {
 			}
 		}
 		if base <= 0 {
+			return nil
+		}
+		for i := range ncs {
+			ncs[i] /= base
+		}
+		return ncs
+	})
+	for _, ncs := range perWL {
+		if ncs == nil {
 			continue
 		}
 		for i := range pos {
-			sums[i] += ncs[i] / base
+			sums[i] += ncs[i]
 		}
 		counted++
 	}

@@ -6,6 +6,7 @@ import (
 	"sentinel3d/internal/ecc"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/sentinel"
 )
@@ -158,14 +159,17 @@ func Fig19LDPC(s Scale) (*Fig19Result, error) {
 
 		for si, sn := range sensings {
 			for m := Fig19OPT; m <= Fig19Sentinel; m++ {
-				ok := 0
-				for fi := range frames {
-					good, err := decodeFrame(chip, model, layout, &frames[fi],
+				si, sn, m := si, sn, m
+				goods, err := parallel.MapErr(len(frames), func(fi int) (bool, error) {
+					return decodeFrame(chip, model, layout, &frames[fi],
 						fullCode, reducedCode, parity, sn, llrTabs[si], m,
 						mathx.Mix4(0x19d, uint64(pe), uint64(si), uint64(fi)))
-					if err != nil {
-						return nil, err
-					}
+				})
+				if err != nil {
+					return nil, err
+				}
+				ok := 0
+				for _, good := range goods {
 					if good {
 						ok++
 					}

@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 )
 
@@ -31,11 +32,12 @@ func Fig2ErrorVsOffset(s Scale) (*Fig2Result, error) {
 	lab := charlab.New(chip)
 	res := &Fig2Result{Kind: flash.TLC}
 	nv := chip.Coding().NumVoltages()
-	for v := 1; v <= nv; v++ {
-		offs, errs := lab.SweepCurve(0, 0, v)
-		res.Offsets = offs
-		res.Errors = append(res.Errors, errs)
-	}
+	res.Errors = make([][]float64, nv)
+	offsets := make([][]float64, nv)
+	parallel.ForEach(nv, func(i int) {
+		offsets[i], res.Errors[i] = lab.SweepCurve(0, 0, i+1)
+	})
+	res.Offsets = offsets[0]
 	return res, nil
 }
 
@@ -171,17 +173,19 @@ func Fig45Temperature(s Scale) (*Fig45Result, error) {
 		rber = make([][]float64, bits)
 		for p := 0; p < bits; p++ {
 			rber[p] = make([]float64, nwl)
-			for wl := 0; wl < nwl; wl++ {
-				rber[p][wl] = lab.PageRBER(0, wl, p, nil)
-			}
 		}
 		opts = make([][]float64, len(res.Voltages))
-		for vi, v := range res.Voltages {
+		for vi := range res.Voltages {
 			opts[vi] = make([]float64, nwl)
-			for wl := 0; wl < nwl; wl++ {
+		}
+		parallel.ForEach(nwl, func(wl int) {
+			for p := 0; p < bits; p++ {
+				rber[p][wl] = lab.PageRBER(0, wl, p, nil)
+			}
+			for vi, v := range res.Voltages {
 				opts[vi][wl] = lab.OptimalOffset(0, wl, v)
 			}
-		}
+		})
 		return rber, opts, nil
 	}
 	var err error
@@ -244,8 +248,10 @@ func Fig6LayerOptima(s Scale) (*Fig6Result, error) {
 		sums[v] = make([]float64, cfg.Layers)
 		res.Opt[v] = make([]float64, cfg.Layers)
 	}
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
-		o := lab.OptimalOffsets(0, wl)
+	optima := parallel.Map(cfg.WordlinesPerBlock(), func(wl int) flash.Offsets {
+		return lab.OptimalOffsets(0, wl)
+	})
+	for wl, o := range optima {
 		layer := chip.LayerOf(wl)
 		for i := 0; i < nv; i++ {
 			sums[i][layer] += o[i]
@@ -328,14 +334,16 @@ func Fig8Correlation(s Scale) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := mathx.NewRand(881)
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
-		chip.ProgramRandom(0, wl, rng)
-	}
 	var wls []int
 	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
 		wls = append(wls, wl)
 	}
+	// Per-wordline RNG streams keyed by wordline index keep the programmed
+	// data identical at any worker count.
+	parallel.ForEach(len(wls), func(i int) {
+		rng := mathx.NewRand(mathx.Mix(881, uint64(wls[i])))
+		chip.ProgramRandom(0, wls[i], rng)
+	})
 	lab := charlab.New(chip)
 	cc := charlab.NewCorrelationCollector(chip.Coding())
 	for i, pt := range s.trainPoints() {

@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 )
@@ -51,17 +52,22 @@ func Fig13RetryCount(s Scale) (*Fig13Result, error) {
 	sent := retry.NewSentinelPolicy(eng)
 	res := &Fig13Result{}
 	msb := chip.Coding().Bits() - 1
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
-		rT := ctl.Read(0, wl, msb, table, mathx.Mix(0x13a, uint64(wl)))
-		rS := ctl.Read(0, wl, msb, sent, mathx.Mix(0x13b, uint64(wl)))
-		res.TableRetries = append(res.TableRetries, rT.Retries)
-		res.SentinelRetries = append(res.SentinelRetries, rS.Retries)
-		res.TableLatencyUS += rT.Latency
-		res.SentLatencyUS += rS.Latency
-		if !rT.OK {
+	type wlRead struct{ table, sent retry.Result }
+	reads := parallel.Map(cfg.WordlinesPerBlock(), func(wl int) wlRead {
+		return wlRead{
+			table: ctl.Read(0, wl, msb, table, mathx.Mix(0x13a, uint64(wl))),
+			sent:  ctl.Read(0, wl, msb, sent, mathx.Mix(0x13b, uint64(wl))),
+		}
+	})
+	for _, r := range reads {
+		res.TableRetries = append(res.TableRetries, r.table.Retries)
+		res.SentinelRetries = append(res.SentinelRetries, r.sent.Retries)
+		res.TableLatencyUS += r.table.Latency
+		res.SentLatencyUS += r.sent.Latency
+		if !r.table.OK {
 			res.TableFails++
 		}
-		if !rS.OK {
+		if !r.sent.OK {
 			res.SentinelFails++
 		}
 	}
@@ -154,14 +160,20 @@ func ErrorComparison(s Scale, kind flash.Kind) (*ErrCompResult, error) {
 
 	nv := chip.Coding().NumVoltages()
 	res := &ErrCompResult{Kind: kind}
-	for m := range res.Errors {
-		res.Errors[m] = make([][]int, nv)
-	}
-	res.TrackingErrors = make([][]int, nv)
 	msb := chip.Coding().Bits() - 1
 	sv := model.SentinelVoltage
 	nwl := cfg.WordlinesPerBlock()
-	for wl := 0; wl < nwl; wl++ {
+	for m := range res.Errors {
+		res.Errors[m] = make([][]int, nv)
+		for v := 0; v < nv; v++ {
+			res.Errors[m][v] = make([]int, nwl)
+		}
+	}
+	res.TrackingErrors = make([][]int, nv)
+	for v := 0; v < nv; v++ {
+		res.TrackingErrors[v] = make([]int, nwl)
+	}
+	parallel.ForEach(nwl, func(wl int) {
 		optimal := lab.OptimalOffsets(0, wl)
 		sense := chip.Sense(0, wl, sv, 0, mathx.Mix(0x15a, uint64(wl)))
 		_, inferred := eng.Infer(sense)
@@ -178,13 +190,13 @@ func ErrorComparison(s Scale, kind flash.Kind) (*ErrCompResult, error) {
 			for m, ofs := range sets {
 				up, down := chip.VoltageErrors(0, wl, v, ofs.Get(v),
 					mathx.Mix4(0x15c, uint64(wl), uint64(v), uint64(m)))
-				res.Errors[m][v-1] = append(res.Errors[m][v-1], up+down)
+				res.Errors[m][v-1][wl] = up + down
 			}
 			up, down := chip.VoltageErrors(0, wl, v, tracked.Get(v),
 				mathx.Mix4(0x15d, uint64(wl), uint64(v), 9))
-			res.TrackingErrors[v-1] = append(res.TrackingErrors[v-1], up+down)
+			res.TrackingErrors[v-1][wl] = up + down
 		}
-	}
+	})
 	return res, nil
 }
 

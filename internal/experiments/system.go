@@ -6,6 +6,7 @@ import (
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/ssdsim"
@@ -87,7 +88,12 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		TableMSBRetries: baseSampler.MeanRetries(2),
 		SentMSBRetries:  sentSampler.MeanRetries(2),
 	}
-	for _, spec := range trace.MSRWorkloads() {
+	// Each workload replays through its own pair of simulator instances;
+	// the samplers are shared but read-only during runs. Fan out across
+	// workloads and keep Rows in workload order.
+	specs := trace.MSRWorkloads()
+	rows, err := parallel.MapErr(len(specs), func(i int) (Fig14Row, error) {
+		spec := specs[i]
 		spec.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
 		// The MSR volumes are light relative to an SSD's capability (the
 		// paper's SSDSim runs show latency ratios near the device-level
@@ -96,7 +102,7 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		spec.MeanIATUS *= 6
 		reqs, err := trace.Generate(spec, requests, mathx.Mix(0x14c, uint64(len(spec.Name))))
 		if err != nil {
-			return nil, err
+			return Fig14Row{}, err
 		}
 		run := func(sampler ssdsim.RetrySampler) (*ssdsim.Report, error) {
 			sim, err := ssdsim.New(simCfg, sampler)
@@ -110,11 +116,11 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		}
 		base, err := run(baseSampler)
 		if err != nil {
-			return nil, err
+			return Fig14Row{}, err
 		}
 		sentRep, err := run(sentSampler)
 		if err != nil {
-			return nil, err
+			return Fig14Row{}, err
 		}
 		row := Fig14Row{
 			Workload:      spec.Name,
@@ -126,8 +132,12 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		if base.MeanReadUS > 0 {
 			row.Reduction = 1 - sentRep.MeanReadUS/base.MeanReadUS
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/sentinel"
 )
@@ -63,21 +64,28 @@ func TempBandExperiment(s Scale) (*TempBandResult, error) {
 	nv := eval.Coding().NumVoltages()
 
 	res := &TempBandResult{ReadTempC: hotC}
-	var roomErrs, bandErrs []float64
-	for wl := 0; wl < evalCfg.WordlinesPerBlock(); wl++ {
+	type wlErrs struct{ room, band []float64 }
+	perWL := parallel.Map(evalCfg.WordlinesPerBlock(), func(wl int) wlErrs {
 		truth := lab.OptimalOffsets(0, wl)
 		sense := eval.Sense(0, wl, sv, 0, mathx.Mix(0x7b, uint64(wl)))
 		d := sentinel.ErrorDiffRate(sense, eng.Indices())
 		sentOfs := model.InferSentinelOffset(d)
 		room := model.OffsetsFromSentinelAt(sentOfs, physics.RoomTempC)
 		band := model.OffsetsFromSentinelAt(sentOfs, hotC)
+		var out wlErrs
 		for v := 2; v <= nv; v++ { // exclude V1 (erratic) and count sv too
 			if v == sv {
 				continue
 			}
-			roomErrs = append(roomErrs, math.Abs(room.Get(v)-truth.Get(v)))
-			bandErrs = append(bandErrs, math.Abs(band.Get(v)-truth.Get(v)))
+			out.room = append(out.room, math.Abs(room.Get(v)-truth.Get(v)))
+			out.band = append(out.band, math.Abs(band.Get(v)-truth.Get(v)))
 		}
+		return out
+	})
+	var roomErrs, bandErrs []float64
+	for _, w := range perWL {
+		roomErrs = append(roomErrs, w.room...)
+		bandErrs = append(bandErrs, w.band...)
 	}
 	res.RoomTableErr = mathx.Mean(roomErrs)
 	res.BandTableErr = mathx.Mean(bandErrs)

@@ -87,6 +87,27 @@ func (c Config) Validate() error {
 }
 
 // Chip is one simulated flash chip instance.
+//
+// Concurrency: a Chip has no internal locking; its safety contract is the
+// usual "reads may run concurrently, writes may not". Concretely:
+//
+//   - All read paths (Sense, ReadPage, ReadStates, VoltageErrors,
+//     SweepVoltageErrors, IsProgrammed, Stress, and the accessors) only
+//     read chip state — the physics model is stateless (every frozen
+//     offset is re-derived by hashing) — so any number may run
+//     concurrently with each other on any wordlines.
+//   - ProgramStates writes only its own wordline's slot (including the
+//     zcache fill when CacheZ is set), so concurrent programs of
+//     *distinct* wordlines are safe, as are concurrent reads of other,
+//     already-programmed wordlines.
+//   - Block-level mutations (EraseBlock, Cycle, Age, SetStress,
+//     SetReadTemperature, ResetRetention) write the shared block stress
+//     state and must not run concurrently with anything else touching
+//     that block.
+//
+// The experiment drivers in internal/experiments rely on exactly this:
+// they fan out per-wordline work (programming, then read-only sweeps)
+// and perform all block aging from the coordinating goroutine.
 type Chip struct {
 	cfg    Config
 	coding *Coding

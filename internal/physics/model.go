@@ -11,6 +11,10 @@ import (
 // wordline fields); two models with the same parameters and seed describe
 // identical chips, while different seeds describe different chips "of the
 // same batch" (paper Section III-D).
+//
+// A Model is immutable after construction — every per-cell quantity is
+// re-derived by hashing (Params, Seed, address), never stored — so all
+// methods are safe for concurrent use.
 type Model struct {
 	P    Params
 	Seed uint64

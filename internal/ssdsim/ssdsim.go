@@ -16,6 +16,7 @@ import (
 
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/trace"
 )
@@ -73,22 +74,35 @@ func (e *EmpiricalSampler) MeanRetries(p int) float64 {
 // BuildSampler measures retry outcomes on a chip through a retry
 // controller and policy: every page of every listed wordline is read
 // reps times. The resulting pools feed the trace-driven simulation.
+// Wordlines are measured concurrently; the pools are assembled in wls
+// order so the sampler is identical at any worker count.
 func BuildSampler(ctl *retry.Controller, pol retry.Policy, b int, wls []int, reps int, seed uint64) (*EmpiricalSampler, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("ssdsim: reps must be positive")
 	}
 	bits := ctl.Chip.Coding().Bits()
-	out := &EmpiricalSampler{PerPage: make([][]RetryOutcome, bits)}
-	for _, wl := range wls {
+	perWL, err := parallel.MapErr(len(wls), func(i int) ([][]RetryOutcome, error) {
+		wl := wls[i]
 		if !ctl.Chip.IsProgrammed(b, wl) {
 			return nil, fmt.Errorf("ssdsim: wordline %d not programmed", wl)
 		}
+		pools := make([][]RetryOutcome, bits)
 		for p := 0; p < bits; p++ {
 			for rep := 0; rep < reps; rep++ {
 				res := ctl.Read(b, wl, p, pol, mathx.Mix4(seed, uint64(wl), uint64(p), uint64(rep)))
-				out.PerPage[p] = append(out.PerPage[p],
+				pools[p] = append(pools[p],
 					RetryOutcome{Retries: res.Retries, AuxSenses: res.AuxSenses})
 			}
+		}
+		return pools, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &EmpiricalSampler{PerPage: make([][]RetryOutcome, bits)}
+	for _, pools := range perWL {
+		for p := 0; p < bits; p++ {
+			out.PerPage[p] = append(out.PerPage[p], pools[p]...)
 		}
 	}
 	return out, nil
