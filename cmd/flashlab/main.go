@@ -18,6 +18,7 @@ import (
 
 	"sentinel3d/internal/charlab"
 	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/fault"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
 	"sentinel3d/internal/parallel"
@@ -36,6 +37,11 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "chip instance seed")
 		full      = flag.Bool("full", false, "use full physical wordline width (slow)")
 		workers   = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
+
+		faultStuck   = flag.Float64("fault-stuck", 0, "fraction of OOB-region cells stuck at an extreme Vth")
+		faultOutlier = flag.Float64("fault-outlier", 0, "fraction of wordlines with an anomalous Vth shift")
+		faultBurst   = flag.Float64("fault-burst", 0, "probability a read is hit by a transient sense-noise burst")
+		faultSeed    = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed (decisions are pure hashes of seed and address)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -74,6 +80,26 @@ func main() {
 	})
 	chip.Cycle(0, *pe)
 	chip.Age(0, *hours, *temp)
+
+	if *faultStuck > 0 || *faultOutlier > 0 || *faultBurst > 0 {
+		sw := chip.Model().P.StateWidth
+		inj, err := fault.New(fault.Profile{
+			Seed:              *faultSeed,
+			SentinelStuckRate: *faultStuck,
+			SentinelRegion:    [2]int{cfg.UserCells(), cfg.CellsPerWordline},
+			StuckHighFraction: 0.5,
+			OutlierWLRate:     *faultOutlier,
+			OutlierShift:      0.5 * sw,
+			BurstRate:         *faultBurst,
+			BurstSigma:        0.25 * sw,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chip.SetFaults(inj)
+		fmt.Printf("faults: stuck %.3g (OOB cells %d..%d), outlier WLs %.3g, bursts %.3g, seed %d\n",
+			*faultStuck, cfg.UserCells(), cfg.CellsPerWordline, *faultOutlier, *faultBurst, *faultSeed)
+	}
 
 	fmt.Printf("chip: %v, %d layers x %d WL/layer, %d cells/WL, seed %d\n",
 		kind, cfg.Layers, cfg.WordlinesPerLayer, cfg.CellsPerWordline, *seed)

@@ -7,7 +7,7 @@
 //	reproduce -exp all -scale full    # the whole evaluation, full fidelity
 //
 // Experiment ids: fig2 fig3 fig45 fig6 fig7 fig8 fig10 table1 fig12 fig13
-// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 all.
+// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 robust all.
 package main
 
 import (
@@ -130,6 +130,9 @@ func main() {
 	}
 	if want("fig19") {
 		run("fig19", func() (renderer, error) { return experiments.Fig19LDPC(scale) })
+	}
+	if want("robust") {
+		run("robust", func() (renderer, error) { return experiments.CorruptionSweep(scale) })
 	}
 	if want("ablations") {
 		run("ablation/placement", func() (renderer, error) {

@@ -8,6 +8,7 @@
 //	tracesim -workload hm_0 -requests 20000
 //	tracesim -trace volume.csv
 //	tracesim -workload all
+//	tracesim -workload hm_0 -fault-stuck 0.08 -fault-pe 0.0005 -fallback
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/fault"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
@@ -35,6 +37,11 @@ func main() {
 		requests  = flag.Int("requests", 10000, "requests to generate per workload")
 		pe        = flag.Int("pe", 5000, "chip wear before the run")
 		full      = flag.Bool("full", false, "use full physical wordline width for retry sampling (slow)")
+
+		faultStuck  = flag.Float64("fault-stuck", 0, "fraction of OOB-region cells stuck high on the sampling chip")
+		faultPE     = flag.Float64("fault-pe", 0, "FTL page-program fail rate (block-erase fails at 4x this rate)")
+		faultSeed   = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed")
+		useFallback = flag.Bool("fallback", false, "also sample and replay the sentinel+fallback policy")
 	)
 	flag.Parse()
 
@@ -61,11 +68,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *faultStuck > 0 {
+		inj, err := fault.New(fault.Profile{
+			Seed:              *faultSeed,
+			SentinelStuckRate: *faultStuck,
+			SentinelRegion:    [2]int{cfg.UserCells(), cfg.CellsPerWordline},
+			StuckHighFraction: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chip.SetFaults(inj)
+		fmt.Printf("faults: %.3g of OOB cells stuck high (seed %d)\n", *faultStuck, *faultSeed)
+	}
 	var wls []int
 	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
 		wls = append(wls, wl)
 	}
-	base, err := ssdsim.BuildSampler(ctl, retry.NewDefaultTable(chip, 2), 0, wls, 3, 11)
+	table := retry.NewDefaultTable(chip, 2)
+	base, err := ssdsim.BuildSampler(ctl, table, 0, wls, 3, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,13 +94,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f\n\n",
-		base.MeanRetries(2), sent.MeanRetries(2))
+	var fb *ssdsim.EmpiricalSampler
+	if *useFallback {
+		pol := retry.NewFallback(retry.NewSentinelPolicy(eng), table)
+		pol.ProbeBlock(chip, 0, 0)
+		fb, err = ssdsim.BuildSampler(ctl, pol, 0, wls, 3, 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fallback probe: block degraded = %v\n", pol.BlockDegraded(0))
+	}
+	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f", base.MeanRetries(2), sent.MeanRetries(2))
+	if fb != nil {
+		fmt.Printf(", fallback %.2f", fb.MeanRetries(2))
+	}
+	fmt.Print("\n\n")
 
 	simCfg := ssdsim.DefaultConfig()
 	simCfg.Geo = ftl.Geometry{
 		Channels: 4, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
 		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+	if *faultPE > 0 {
+		inj, err := fault.New(fault.Profile{
+			Seed:               *faultSeed,
+			FTLProgramFailRate: *faultPE,
+			FTLEraseFailRate:   4 * *faultPE,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		simCfg.PEFaults = inj
 	}
 
 	var workloads []struct {
@@ -124,6 +169,10 @@ func main() {
 
 	header := []string{"workload", "reads", "base µs", "sentinel µs", "reduction",
 		"base p99", "sent p99"}
+	if fb != nil {
+		header = append(header, "fb µs", "fb degraded")
+	}
+	header = append(header, "uncorr b/s", "retired")
 	var rows [][]string
 	for _, w := range workloads {
 		run := func(s ssdsim.RetrySampler) *ssdsim.Report {
@@ -146,12 +195,21 @@ func main() {
 		if b.MeanReadUS > 0 {
 			red = 1 - s.MeanReadUS/b.MeanReadUS
 		}
-		rows = append(rows, []string{
+		row := []string{
 			w.name, fmt.Sprint(b.Reads),
 			fmt.Sprintf("%.0f", b.MeanReadUS), fmt.Sprintf("%.0f", s.MeanReadUS),
 			experiments.Pct(red),
 			fmt.Sprintf("%.0f", b.P99ReadUS), fmt.Sprintf("%.0f", s.P99ReadUS),
-		})
+		}
+		if fb != nil {
+			f := run(fb)
+			row = append(row, fmt.Sprintf("%.0f", f.MeanReadUS),
+				fmt.Sprint(f.FallbackReads))
+		}
+		row = append(row,
+			fmt.Sprintf("%d/%d", b.UncorrectableReads, s.UncorrectableReads),
+			fmt.Sprint(b.RetiredBlocks))
+		rows = append(rows, row)
 	}
 	fmt.Print(experiments.Table(header, rows))
 }

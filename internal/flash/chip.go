@@ -1,11 +1,38 @@
 package flash
 
 import (
+	"errors"
 	"fmt"
 
 	"sentinel3d/internal/mathx"
 	"sentinel3d/internal/physics"
 )
+
+// ErrProgramFault and ErrEraseFault are returned when an attached
+// FaultModel fails a program or erase operation. Callers can match them
+// with errors.Is to drive bad-block handling.
+var (
+	ErrProgramFault = errors.New("flash: program operation failed (injected fault)")
+	ErrEraseFault   = errors.New("flash: erase operation failed (injected fault)")
+)
+
+// FaultModel is the hook through which a fault-injection layer (see
+// internal/fault) perturbs chip behaviour. Implementations must be
+// deterministic pure functions of their own seed and the arguments —
+// never of call order — so that faulted experiments stay byte-identical
+// at any worker count. They must also be safe for concurrent use: reads
+// of distinct wordlines call PerturbVth concurrently.
+type FaultModel interface {
+	// PerturbVth mutates the freshly computed threshold-voltage vector of
+	// one read operation on wordline (b, wl). readSeed identifies the read
+	// operation, exactly as for sensing noise.
+	PerturbVth(b, wl int, readSeed uint64, vth []float64)
+	// ProgramFails reports whether programming wordline (b, wl) at the
+	// given program epoch fails.
+	ProgramFails(b, wl int, epoch uint64) bool
+	// EraseFails reports whether the erase'th erase of block b fails.
+	EraseFails(b int, erase uint64) bool
+}
 
 // Config describes the geometry and technology of a simulated chip.
 type Config struct {
@@ -103,7 +130,8 @@ func (c Config) Validate() error {
 //   - Block-level mutations (EraseBlock, Cycle, Age, SetStress,
 //     SetReadTemperature, ResetRetention) write the shared block stress
 //     state and must not run concurrently with anything else touching
-//     that block.
+//     that block. SetFaults swaps the chip-wide fault model and must not
+//     run concurrently with anything at all.
 //
 // The experiment drivers in internal/experiments rely on exactly this:
 // they fan out per-wordline work (programming, then read-only sweeps)
@@ -113,10 +141,12 @@ type Chip struct {
 	coding *Coding
 	model  *physics.Model
 	blocks []blockState
+	faults FaultModel
 }
 
 type blockState struct {
 	stress physics.Stress
+	erases uint64 // erase attempts, successful or not (fault-model key)
 	wls    []wlState
 }
 
@@ -181,6 +211,14 @@ func (c *Chip) Coding() *Coding { return c.coding }
 // oracle policies; production FTL code would not have this).
 func (c *Chip) Model() *physics.Model { return c.model }
 
+// SetFaults attaches (or, with nil, detaches) a fault model. It is a
+// chip-wide mutation: it must not run concurrently with any other chip
+// operation. Attach faults before fanning out reads.
+func (c *Chip) SetFaults(f FaultModel) { c.faults = f }
+
+// Faults returns the attached fault model (nil when fault-free).
+func (c *Chip) Faults() FaultModel { return c.faults }
+
 // LayerOf returns the layer of wordline wl within its block.
 func (c *Chip) LayerOf(wl int) int { return wl % c.cfg.Layers }
 
@@ -206,14 +244,22 @@ func (c *Chip) Stress(b int) physics.Stress {
 }
 
 // EraseBlock erases block b: all wordlines return to the erased state and
-// the block gains one P/E cycle.
-func (c *Chip) EraseBlock(b int) {
+// the block gains one P/E cycle. With a fault model attached the erase
+// can fail (ErrEraseFault): the block still wears one cycle but keeps its
+// contents — the caller should retire it, as a real FTL would.
+func (c *Chip) EraseBlock(b int) error {
 	c.checkAddr(b, 0)
 	blk := &c.blocks[b]
+	blk.erases++
+	if c.faults != nil && c.faults.EraseFails(b, blk.erases) {
+		blk.stress = blk.stress.Cycled(1)
+		return fmt.Errorf("flash: block %d erase %d: %w", b, blk.erases, ErrEraseFault)
+	}
 	blk.stress = blk.stress.AfterProgram().Cycled(1)
 	for i := range blk.wls {
 		blk.wls[i] = wlState{}
 	}
+	return nil
 }
 
 // Cycle adds n P/E cycles of pure wear to block b without changing its
@@ -274,6 +320,14 @@ func (c *Chip) ProgramStates(b, wl int, states []uint8) error {
 		}
 	}
 	w := &c.blocks[b].wls[wl]
+	if c.faults != nil && c.faults.ProgramFails(b, wl, w.epoch+1) {
+		// A failed program still consumes the epoch (the attempt disturbed
+		// the cells) but leaves the wordline's data invalid.
+		w.epoch++
+		w.programmed = false
+		return fmt.Errorf("flash: wordline (%d,%d) program epoch %d: %w",
+			b, wl, w.epoch, ErrProgramFault)
+	}
 	w.programmed = true
 	w.epoch++
 	if w.states == nil {
@@ -297,15 +351,16 @@ func (c *Chip) ProgramStates(b, wl int, states []uint8) error {
 // ProgramRandom programs wordline (b, wl) with uniformly random states
 // (host data is scrambled in real SSDs, so this is the realistic
 // distribution). The rng drives only the data pattern, not the physics.
-func (c *Chip) ProgramRandom(b, wl int, rng *mathx.Rand) {
+// The error is always nil on a fault-free chip (the generated states are
+// valid by construction); with a fault model attached it can be
+// ErrProgramFault.
+func (c *Chip) ProgramRandom(b, wl int, rng *mathx.Rand) error {
 	states := make([]uint8, c.cfg.CellsPerWordline)
 	n := c.coding.States()
 	for i := range states {
 		states[i] = uint8(rng.Intn(n))
 	}
-	if err := c.ProgramStates(b, wl, states); err != nil {
-		panic(err) // internally generated states are always valid
-	}
+	return c.ProgramStates(b, wl, states)
 }
 
 // IsProgrammed reports whether wordline (b, wl) holds data.
@@ -355,10 +410,13 @@ func (c *Chip) vthAll(b, wl int, readSeed uint64, buf []float64) []float64 {
 				env.Sigma[s]*float64(w.zcache[i]) +
 				c.model.ReadNoise(readSeed, i)
 		}
-		return buf
+	} else {
+		for i := 0; i < n; i++ {
+			buf[i] = c.model.CellVth(env, g, i, n, int(w.states[i]), w.epoch, readSeed)
+		}
 	}
-	for i := 0; i < n; i++ {
-		buf[i] = c.model.CellVth(env, g, i, n, int(w.states[i]), w.epoch, readSeed)
+	if c.faults != nil {
+		c.faults.PerturbVth(b, wl, readSeed, buf)
 	}
 	return buf
 }

@@ -76,12 +76,27 @@ func (g Geometry) Die(plane int) int { return plane / g.PlanesPerDie }
 
 const invalidLPN = int64(-1)
 
+// PEFaultModel lets a fault-injection layer (see internal/fault) fail
+// individual program and erase operations at the FTL's address level.
+// Implementations must be deterministic pure functions of their own seed
+// and the arguments, never of call order.
+type PEFaultModel interface {
+	// PageProgramFails reports whether programming the given page of
+	// (plane, block) fails; erases is the block's erase count, so a
+	// decision is redrawn after each erase cycle.
+	PageProgramFails(plane, block, page, erases int) bool
+	// BlockEraseFails reports whether the erase following erase count
+	// erases of (plane, block) fails.
+	BlockEraseFails(plane, block, erases int) bool
+}
+
 type blockMeta struct {
 	valid    []int64 // valid[page] = LPN stored there, or invalidLPN
 	validCnt int
 	writePtr int // next free page, PagesPerBlock when full
 	erases   int
 	isActive bool
+	retired  bool // permanently out of service (program/erase failure)
 }
 
 type planeState struct {
@@ -103,10 +118,16 @@ type FTL struct {
 	HostWrites int64
 	GCWrites   int64
 	Erases     int64
+	// BadBlocks counts blocks retired after a program or erase failure.
+	BadBlocks int64
 
 	// GCThreshold is the free-block low-water mark per plane at which
 	// garbage collection runs (default 2).
 	GCThreshold int
+
+	// Faults optionally injects program/erase failures; nil means a
+	// fault-free medium. Set it before issuing writes.
+	Faults PEFaultModel
 }
 
 // New builds an FTL over the geometry.
@@ -154,11 +175,15 @@ func (f *FTL) FreeBlocks(p int) int { return len(f.planes[p].freeQueue) }
 type WriteResult struct {
 	// Target is where the host page landed.
 	Target PPN
-	// Migrations lists valid pages relocated by garbage collection
-	// triggered by this write (source pages; each also incurred a write).
+	// Migrations lists valid pages relocated by garbage collection or
+	// bad-block retirement triggered by this write (source pages; each
+	// also incurred a write).
 	Migrations []PPN
 	// ErasedBlocks counts blocks erased by GC during this write.
 	ErasedBlocks int
+	// RetiredBlocks counts blocks taken out of service during this write
+	// after a program or erase failure.
+	RetiredBlocks int
 }
 
 // Write maps (or remaps) an LPN, allocating the next page of the current
@@ -181,7 +206,7 @@ func (f *FTL) Write(lpn int64) (WriteResult, error) {
 	f.nextPlane = (f.nextPlane + 1) % len(f.planes)
 
 	var res WriteResult
-	tgt, err := f.allocate(plane, lpn)
+	tgt, err := f.allocate(plane, lpn, &res, true)
 	if err != nil {
 		return WriteResult{}, err
 	}
@@ -203,25 +228,75 @@ func (f *FTL) Write(lpn int64) (WriteResult, error) {
 }
 
 // allocate takes the next free page in the plane's active block, rolling
-// to a fresh block from the free queue when full.
-func (f *FTL) allocate(plane int, lpn int64) (PPN, error) {
+// to a fresh block from the free queue when full. With checkFaults set it
+// consults the fault model before committing the program; a failure
+// retires the active block (relocating its contents) and retries on a
+// fresh one. Relocation writes run with checkFaults off: their fault
+// decision would be redrawn at the same key and loop forever, and real
+// controllers treat the rescue copy of a dying block as must-succeed.
+func (f *FTL) allocate(plane int, lpn int64, res *WriteResult, checkFaults bool) (PPN, error) {
 	ps := &f.planes[plane]
-	bm := &ps.blocks[ps.active]
-	if bm.writePtr >= f.geo.PagesPerBlock {
-		if len(ps.freeQueue) == 0 {
-			return PPN{}, fmt.Errorf("ftl: plane %d out of space", plane)
+	for {
+		bm := &ps.blocks[ps.active]
+		if bm.writePtr >= f.geo.PagesPerBlock {
+			if len(ps.freeQueue) == 0 {
+				return PPN{}, fmt.Errorf("ftl: plane %d out of space", plane)
+			}
+			bm.isActive = false
+			ps.active = ps.freeQueue[0]
+			ps.freeQueue = ps.freeQueue[1:]
+			ps.blocks[ps.active].isActive = true
+			bm = &ps.blocks[ps.active]
 		}
-		bm.isActive = false
-		ps.active = ps.freeQueue[0]
-		ps.freeQueue = ps.freeQueue[1:]
-		ps.blocks[ps.active].isActive = true
-		bm = &ps.blocks[ps.active]
+		page := bm.writePtr
+		if checkFaults && f.Faults != nil &&
+			f.Faults.PageProgramFails(plane, ps.active, page, bm.erases) {
+			if err := f.retireActive(plane, res); err != nil {
+				return PPN{}, err
+			}
+			continue
+		}
+		bm.writePtr++
+		bm.valid[page] = lpn
+		bm.validCnt++
+		return PPN{Plane: plane, Block: ps.active, Page: page}, nil
 	}
-	page := bm.writePtr
-	bm.writePtr++
-	bm.valid[page] = lpn
-	bm.validCnt++
-	return PPN{Plane: plane, Block: ps.active, Page: page}, nil
+}
+
+// retireActive takes the plane's active block out of service after a
+// program failure: the block is marked bad, a fresh block becomes active,
+// and the dying block's valid pages are relocated onto it (they remain
+// readable — only further programs fail).
+func (f *FTL) retireActive(plane int, res *WriteResult) error {
+	ps := &f.planes[plane]
+	victim := ps.active
+	bm := &ps.blocks[victim]
+	bm.isActive = false
+	bm.retired = true
+	f.BadBlocks++
+	res.RetiredBlocks++
+	if len(ps.freeQueue) == 0 {
+		return fmt.Errorf("ftl: plane %d out of space retiring block %d", plane, victim)
+	}
+	ps.active = ps.freeQueue[0]
+	ps.freeQueue = ps.freeQueue[1:]
+	ps.blocks[ps.active].isActive = true
+	for page, lpn := range bm.valid {
+		if lpn == invalidLPN {
+			continue
+		}
+		res.Migrations = append(res.Migrations,
+			PPN{Plane: plane, Block: victim, Page: page})
+		bm.valid[page] = invalidLPN
+		bm.validCnt--
+		tgt, err := f.allocate(plane, lpn, res, false)
+		if err != nil {
+			return err
+		}
+		f.l2p[lpn] = tgt
+		f.GCWrites++
+	}
+	return nil
 }
 
 // collect performs one round of greedy garbage collection on the plane:
@@ -235,7 +310,7 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 	best := f.geo.PagesPerBlock + 1
 	for b := range ps.blocks {
 		bm := &ps.blocks[b]
-		if bm.isActive || bm.writePtr < f.geo.PagesPerBlock {
+		if bm.isActive || bm.retired || bm.writePtr < f.geo.PagesPerBlock {
 			continue
 		}
 		if bm.validCnt < best {
@@ -255,14 +330,23 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 			PPN{Plane: plane, Block: victim, Page: page})
 		bm.valid[page] = invalidLPN
 		bm.validCnt--
-		tgt, err := f.allocate(plane, lpn)
+		tgt, err := f.allocate(plane, lpn, res, true)
 		if err != nil {
 			return false, err
 		}
 		f.l2p[lpn] = tgt
 		f.GCWrites++
 	}
-	// Erase.
+	// Erase. A failed erase wears the block without freeing it; the FTL
+	// retires it on the spot (its pages were already migrated, so no data
+	// is at risk) and the next collect round picks another victim.
+	if f.Faults != nil && f.Faults.BlockEraseFails(plane, victim, bm.erases) {
+		bm.erases++
+		bm.retired = true
+		f.BadBlocks++
+		res.RetiredBlocks++
+		return true, nil
+	}
 	bm.writePtr = 0
 	bm.validCnt = 0
 	bm.erases++
@@ -278,6 +362,11 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 // BlockErases returns the erase count of a block (wear accounting).
 func (f *FTL) BlockErases(plane, block int) int {
 	return f.planes[plane].blocks[block].erases
+}
+
+// BlockRetired reports whether a block has been taken out of service.
+func (f *FTL) BlockRetired(plane, block int) bool {
+	return f.planes[plane].blocks[block].retired
 }
 
 // CheckInvariants verifies internal consistency: every L2P entry points
@@ -302,6 +391,10 @@ func (f *FTL) CheckInvariants() error {
 			if cnt != bm.validCnt {
 				return fmt.Errorf("ftl: plane %d block %d valid count %d != %d",
 					p, b, bm.validCnt, cnt)
+			}
+			if bm.retired && (bm.validCnt != 0 || bm.isActive) {
+				return fmt.Errorf("ftl: plane %d block %d retired but validCnt=%d active=%v",
+					p, b, bm.validCnt, bm.isActive)
 			}
 		}
 	}

@@ -61,7 +61,8 @@ func (s *sentinelSession) nextWithAuxSense(k int, _ flash.Offsets) (flash.Offset
 	switch {
 	case k == 1:
 		s.defaultSense = s.env.Sense(sv, 0)
-		_, ofs := eng.Infer(s.defaultSense)
+		d, ofs := eng.Infer(s.defaultSense)
+		s.lastD = d
 		s.sentOfs = ofs.Get(sv)
 		return ofs, true
 	default:

@@ -1,6 +1,7 @@
 package retry
 
 import (
+	"errors"
 	"fmt"
 
 	"sentinel3d/internal/ecc"
@@ -50,7 +51,8 @@ type Policy interface {
 
 // Result reports one serviced read.
 type Result struct {
-	// OK is false when the read exhausted its retry budget.
+	// OK is false when the read exhausted its retry budget or could not be
+	// serviced at all (see Err).
 	OK bool
 	// Retries is the number of re-read attempts after the first read.
 	Retries int
@@ -64,7 +66,25 @@ type Result struct {
 	// FinalErrors is the raw bit-error count of the last attempt over the
 	// ECC-protected user cells (simulator-side observability).
 	FinalErrors int
+	// UsedFallback reports that the policy abandoned its primary inference
+	// path and degraded to its fallback (see FallbackPolicy) at some point
+	// during this read.
+	UsedFallback bool
+	// Uncorrectable reports that the read was attempted but ECC never
+	// decoded within the retry budget — the read-path equivalent of a
+	// media error, which an FTL surfaces to the host.
+	Uncorrectable bool
+	// Err is non-nil when the read could not be attempted: the address is
+	// out of range (ErrBadAddress) or the wordline holds no data
+	// (ErrNotProgrammed). Retries/Latency are zero in that case.
+	Err error
 }
+
+// Errors reported through Result.Err.
+var (
+	ErrBadAddress    = errors.New("retry: address out of range")
+	ErrNotProgrammed = errors.New("retry: wordline not programmed")
+)
 
 // Controller drives reads against a chip with a policy and an ECC model.
 type Controller struct {
@@ -93,7 +113,22 @@ func NewController(chip *flash.Chip, model ecc.CapabilityModel, lat LatencyModel
 
 // Read services one page read with the given policy. readSeed
 // de-correlates sensing noise across reads.
+//
+// Invalid addresses and unprogrammed wordlines are reported through
+// Result.Err (with OK=false) rather than panicking, so callers such as
+// trace-driven simulators need no pre-checks of their own.
 func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
+	cfg := c.Chip.Config()
+	if b < 0 || b >= cfg.Blocks ||
+		wl < 0 || wl >= cfg.WordlinesPerBlock() ||
+		page < 0 || page >= cfg.Kind.Bits() {
+		return Result{Err: fmt.Errorf("%w: block %d wordline %d page %d",
+			ErrBadAddress, b, wl, page)}
+	}
+	if !c.Chip.IsProgrammed(b, wl) {
+		return Result{Err: fmt.Errorf("%w: block %d wordline %d",
+			ErrNotProgrammed, b, wl)}
+	}
 	env := &Env{
 		Chip: c.Chip, B: b, WL: wl, Page: page,
 		lat: c.Lat, seed: readSeed,
@@ -136,6 +171,10 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	}
 	res.AuxSenses = env.senseOps
 	res.Latency += env.extraCost
+	res.Uncorrectable = !res.OK
+	if fs, ok := sess.(interface{ UsedFallback() bool }); ok {
+		res.UsedFallback = fs.UsedFallback()
+	}
 	return res
 }
 

@@ -1,0 +1,184 @@
+package retry
+
+import (
+	"sync"
+
+	"sentinel3d/internal/flash"
+)
+
+// FallbackGuard holds the plausibility thresholds of a FallbackPolicy.
+// Production controllers never trust a single inference path; these are
+// the checks that decide when sentinel inference is lying.
+type FallbackGuard struct {
+	// DSlack widens the model's trained error-difference domain
+	// [DLo, DHi]: a measured d outside [DLo-DSlack, DHi+DSlack] cannot
+	// have come from a healthy sentinel population and trips the guard.
+	DSlack float64
+	// MaxOffsetFactor bounds inferred and calibrated sentinel offsets to
+	// MaxOffsetFactor * Engine.OffsetBound(); beyond that the inference
+	// (or a diverging calibration walk) is implausible.
+	MaxOffsetFactor float64
+	// StuckTolerance is the sentinel-region stuck-cell fraction above
+	// which ProbeBlock declares the whole block degraded.
+	StuckTolerance float64
+	// ProbeSpan sets the probe voltages of ProbeBlock in state widths:
+	// the sentinel voltage ± ProbeSpan*StateWidth. It must be wide enough
+	// that every healthy cell of the two flanking states responds at both
+	// extremes.
+	ProbeSpan float64
+}
+
+// DefaultGuard returns the thresholds used by the experiments. The stuck
+// tolerance is deliberately generous: the inference clamp to [DLo, DHi]
+// plus state-change calibration absorb small error-difference biases (the
+// corruption sweep measures only ~0.1 extra retries per read at 4% stuck
+// cells), so the probe withdraws trust only once the stuck fraction is
+// large enough to bias d beyond what calibration can walk back.
+func DefaultGuard() FallbackGuard {
+	return FallbackGuard{
+		DSlack:          0.05,
+		MaxOffsetFactor: 1.25,
+		StuckTolerance:  0.05,
+		ProbeSpan:       1.5,
+	}
+}
+
+// FallbackPolicy plausibility-checks sentinel inference and degrades to
+// the static vendor table instead of burning the retry budget on
+// implausible voltages. Two layers of defence:
+//
+//   - Per block: ProbeBlock senses the sentinel region at two extreme
+//     voltages and retires the block from sentinel service when its
+//     stuck-cell fraction exceeds Guard.StuckTolerance. Degraded blocks
+//     read exactly like the static table from attempt 0.
+//   - Per read: the inferred offset must be inside the model's plausible
+//     range and the measured d inside the trained domain; calibration
+//     must stay bounded rather than diverge. A violation switches the
+//     remaining attempts of that read to the static table (whose entry k
+//     sequence is shared, so no attempt is wasted).
+//
+// Probing mutates the block-degraded map and must happen from the
+// coordinating goroutine before reads fan out, exactly like chip aging;
+// concurrent reads only ever read the map.
+type FallbackPolicy struct {
+	Sentinel *SentinelPolicy
+	Table    *DefaultTablePolicy
+	Guard    FallbackGuard
+
+	mu       sync.RWMutex
+	degraded map[int]bool
+}
+
+// NewFallback wraps a sentinel policy with a static-table fallback under
+// the default guard thresholds.
+func NewFallback(sentinel *SentinelPolicy, table *DefaultTablePolicy) *FallbackPolicy {
+	return &FallbackPolicy{
+		Sentinel: sentinel,
+		Table:    table,
+		Guard:    DefaultGuard(),
+		degraded: make(map[int]bool),
+	}
+}
+
+// Name implements Policy.
+func (p *FallbackPolicy) Name() string { return "sentinel+fallback" }
+
+// ProbeBlock health-checks block b's sentinel region through wordline wl
+// (which must be programmed): two accounted-for-nothing senses at the
+// extremes of the sentinel voltage's neighbourhood detect cells that do
+// not respond to the read voltage. It returns the stuck fraction and
+// records the block as degraded when it exceeds Guard.StuckTolerance.
+// Call from the coordinating goroutine before fanning out reads.
+func (p *FallbackPolicy) ProbeBlock(chip *flash.Chip, b, wl int) float64 {
+	eng := p.Sentinel.Engine
+	sv := eng.Model.SentinelVoltage
+	span := p.Guard.ProbeSpan * chip.Model().P.StateWidth
+	lo := chip.Sense(b, wl, sv, -span, uint64(b)<<1|1)
+	hi := chip.Sense(b, wl, sv, +span, uint64(b)<<1)
+	frac := eng.StuckFraction(lo, hi)
+	p.mu.Lock()
+	if frac > p.Guard.StuckTolerance {
+		p.degraded[b] = true
+	} else {
+		delete(p.degraded, b)
+	}
+	p.mu.Unlock()
+	return frac
+}
+
+// BlockDegraded reports whether block b failed its last probe.
+func (p *FallbackPolicy) BlockDegraded(b int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.degraded[b]
+}
+
+// Session implements Policy.
+func (p *FallbackPolicy) Session(env *Env) Session {
+	s := &fallbackSession{
+		p:        p,
+		env:      env,
+		sentinel: p.Sentinel.Session(env).(*sentinelSession),
+	}
+	if p.BlockDegraded(env.B) {
+		s.degraded = true
+	}
+	return s
+}
+
+type fallbackSession struct {
+	p        *FallbackPolicy
+	env      *Env
+	sentinel *sentinelSession
+	// degraded latches once the guard trips (or immediately for a
+	// degraded block); from then on every attempt k is the static table's
+	// entry k, which matches the attempts a pure table session would have
+	// issued because both start from factory defaults at k=0.
+	degraded bool
+}
+
+// UsedFallback reports whether this read degraded to the static table;
+// Controller.Read copies it into Result.UsedFallback.
+func (s *fallbackSession) UsedFallback() bool { return s.degraded }
+
+func (s *fallbackSession) NextOffsets(k int, prior flash.Bitmap, priorOfs flash.Offsets) (flash.Offsets, bool) {
+	nv := s.env.Coding().NumVoltages()
+	if s.degraded {
+		// The controller's retry budget terminates the walk, exactly as
+		// for a pure tableSession.
+		return s.p.Table.Entry(k, nv), true
+	}
+	ofs, ok := s.sentinel.NextOffsets(k, prior, priorOfs)
+	if !ok {
+		return nil, false
+	}
+	if k >= 1 && !s.plausible(k) {
+		s.degraded = true
+		return s.p.Table.Entry(k, nv), true
+	}
+	return ofs, true
+}
+
+// plausible applies the per-read guard after the sentinel session
+// produced the offsets for attempt k.
+func (s *fallbackSession) plausible(k int) bool {
+	g := s.p.Guard
+	eng := s.p.Sentinel.Engine
+	if k == 1 {
+		// The measured error-difference rate must lie inside (or near) the
+		// trained domain; far outside it the polynomial is extrapolating
+		// from a population that cannot be healthy sentinels.
+		d := s.sentinel.lastD
+		if d < eng.Model.DLo-g.DSlack || d > eng.Model.DHi+g.DSlack {
+			return false
+		}
+	}
+	// The running sentinel offset — inferred at k=1, walked by
+	// calibration afterwards — must stay inside the model's plausible
+	// range instead of diverging.
+	bound := g.MaxOffsetFactor * eng.OffsetBound()
+	if bound > 0 && (s.sentinel.sentOfs < -bound || s.sentinel.sentOfs > bound) {
+		return false
+	}
+	return true
+}

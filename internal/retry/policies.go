@@ -239,6 +239,10 @@ type sentinelSession struct {
 
 	defaultSense flash.Bitmap
 	sentOfs      float64
+	// lastD is the error-difference rate measured at attempt 1; the
+	// fallback guard reads it to judge whether the measurement was inside
+	// the model's training domain.
+	lastD float64
 }
 
 // senseFromLSBReadout converts an LSB page readout into a sentinel-voltage
@@ -266,8 +270,8 @@ func (s *sentinelSession) NextOffsets(k int, prior flash.Bitmap, priorOfs flash.
 		} else {
 			s.defaultSense = s.env.Sense(sv, 0)
 		}
-		var ofs flash.Offsets
-		_, ofs = eng.Infer(s.defaultSense)
+		d, ofs := eng.Infer(s.defaultSense)
+		s.lastD = d
 		s.sentOfs = ofs.Get(sv)
 		return ofs, true
 	default:

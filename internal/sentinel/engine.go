@@ -18,6 +18,7 @@ type Engine struct {
 	indices []int
 	ratio   float64
 	tempC   float64
+	bound   float64
 }
 
 // NewEngine resolves the layout against cfg and validates the parts.
@@ -43,7 +44,35 @@ func NewEngine(model *Model, layout Layout, cal Calibrator, cfg flash.Config) (*
 		indices: idx,
 		ratio:   float64(len(idx)) / float64(cfg.CellsPerWordline),
 		tempC:   25,
+		bound:   model.offsetBound(),
 	}, nil
+}
+
+// OffsetBound returns the largest sentinel-offset magnitude the trained
+// polynomial can produce over its training domain. Inferred or calibrated
+// offsets far beyond this bound cannot have come from a healthy sentinel
+// measurement; the fallback guard in internal/retry uses it as the
+// plausibility limit.
+func (e *Engine) OffsetBound() float64 { return e.bound }
+
+// StuckFraction compares two senses of the same wordline taken at widely
+// separated voltages (senseLo well below every state, senseHi well above)
+// and returns the fraction of sentinel cells that read identically in
+// both. A healthy cell always senses above at senseLo and below at
+// senseHi; a cell that does not respond to the read voltage at all is
+// stuck, and a block whose sentinel region shows stuck cells cannot be
+// trusted for inference.
+func (e *Engine) StuckFraction(senseLo, senseHi flash.Bitmap) float64 {
+	if len(e.indices) == 0 {
+		return 0
+	}
+	stuck := 0
+	for _, idx := range e.indices {
+		if senseLo.Get(idx) == senseHi.Get(idx) {
+			stuck++
+		}
+	}
+	return float64(stuck) / float64(len(e.indices))
 }
 
 // SetTemperature tells the engine the controller's on-board temperature

@@ -3,6 +3,7 @@ package sentinel
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
@@ -90,15 +91,31 @@ func (m *Model) Validate() error {
 }
 
 // InferSentinelOffset maps an error-difference rate to the inferred
-// optimal offset of the sentinel voltage.
+// optimal offset of the sentinel voltage. Non-finite d (possible only
+// with a degenerate zero-sentinel layout) clamps like an out-of-domain
+// value so the result is always finite for a trained model.
 func (m *Model) InferSentinelOffset(d float64) float64 {
-	if d < m.DLo {
+	if math.IsNaN(d) || d < m.DLo {
 		d = m.DLo
 	}
 	if d > m.DHi {
 		d = m.DHi
 	}
 	return m.F.Eval(d)
+}
+
+// offsetBound samples F over the training domain and returns the largest
+// offset magnitude it can produce; see Engine.OffsetBound.
+func (m *Model) offsetBound() float64 {
+	const samples = 256
+	bound := 0.0
+	for i := 0; i <= samples; i++ {
+		d := m.DLo + (m.DHi-m.DLo)*float64(i)/samples
+		if v := math.Abs(m.F.Eval(d)); v > bound {
+			bound = v
+		}
+	}
+	return bound
 }
 
 // OffsetsFromSentinel expands a sentinel-voltage offset into a full

@@ -27,6 +27,12 @@ type RetryOutcome struct {
 	Retries int
 	// AuxSenses is the number of auxiliary single-voltage reads.
 	AuxSenses int
+	// UsedFallback records that the read degraded from its primary
+	// inference path to the static table (retry.Result.UsedFallback).
+	UsedFallback bool
+	// Uncorrectable records that ECC never decoded within the retry
+	// budget; the SSD returns a media error for such a read.
+	Uncorrectable bool
 }
 
 // RetrySampler yields retry outcomes for reads of a given page type
@@ -49,9 +55,24 @@ type EmpiricalSampler struct {
 	PerPage [][]RetryOutcome
 }
 
+// pool validates the page type in one place for every accessor: an
+// out-of-range page type is a wiring bug between the sampler and the
+// simulator's bits-per-cell setting, and silently wrapping it (as Sample
+// once did) misattributes LSB statistics to MSB pages.
+func (e *EmpiricalSampler) pool(pageType int) []RetryOutcome {
+	if pageType < 0 || pageType >= len(e.PerPage) {
+		panic(fmt.Sprintf("ssdsim: page type %d outside sampler's %d pools",
+			pageType, len(e.PerPage)))
+	}
+	return e.PerPage[pageType]
+}
+
+// PageTypes returns the number of page types the sampler covers.
+func (e *EmpiricalSampler) PageTypes() int { return len(e.PerPage) }
+
 // Sample implements RetrySampler.
 func (e *EmpiricalSampler) Sample(pageType int, rng *mathx.Rand) RetryOutcome {
-	pool := e.PerPage[pageType%len(e.PerPage)]
+	pool := e.pool(pageType)
 	if len(pool) == 0 {
 		return RetryOutcome{}
 	}
@@ -60,7 +81,7 @@ func (e *EmpiricalSampler) Sample(pageType int, rng *mathx.Rand) RetryOutcome {
 
 // MeanRetries returns the average retry count of page type p's pool.
 func (e *EmpiricalSampler) MeanRetries(p int) float64 {
-	pool := e.PerPage[p]
+	pool := e.pool(p)
 	if len(pool) == 0 {
 		return 0
 	}
@@ -69,6 +90,22 @@ func (e *EmpiricalSampler) MeanRetries(p int) float64 {
 		s += o.Retries
 	}
 	return float64(s) / float64(len(pool))
+}
+
+// UncorrectableRate returns the fraction of page type p's pool that ended
+// uncorrectable.
+func (e *EmpiricalSampler) UncorrectableRate(p int) float64 {
+	pool := e.pool(p)
+	if len(pool) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range pool {
+		if o.Uncorrectable {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pool))
 }
 
 // BuildSampler measures retry outcomes on a chip through a retry
@@ -83,15 +120,21 @@ func BuildSampler(ctl *retry.Controller, pol retry.Policy, b int, wls []int, rep
 	bits := ctl.Chip.Coding().Bits()
 	perWL, err := parallel.MapErr(len(wls), func(i int) ([][]RetryOutcome, error) {
 		wl := wls[i]
-		if !ctl.Chip.IsProgrammed(b, wl) {
-			return nil, fmt.Errorf("ssdsim: wordline %d not programmed", wl)
-		}
 		pools := make([][]RetryOutcome, bits)
 		for p := 0; p < bits; p++ {
 			for rep := 0; rep < reps; rep++ {
 				res := ctl.Read(b, wl, p, pol, mathx.Mix4(seed, uint64(wl), uint64(p), uint64(rep)))
-				pools[p] = append(pools[p],
-					RetryOutcome{Retries: res.Retries, AuxSenses: res.AuxSenses})
+				if res.Err != nil {
+					// Bad address or unprogrammed wordline: the controller
+					// reports it, so no pre-checks are needed here.
+					return nil, fmt.Errorf("ssdsim: %w", res.Err)
+				}
+				pools[p] = append(pools[p], RetryOutcome{
+					Retries:       res.Retries,
+					AuxSenses:     res.AuxSenses,
+					UsedFallback:  res.UsedFallback,
+					Uncorrectable: res.Uncorrectable,
+				})
 			}
 		}
 		return pools, nil
@@ -121,6 +164,9 @@ type Config struct {
 	EraseUS   float64
 	// Seed drives retry sampling.
 	Seed uint64
+	// PEFaults optionally injects program/erase failures into the FTL
+	// (see internal/fault); retired blocks are counted in the report.
+	PEFaults ftl.PEFaultModel
 }
 
 // DefaultConfig returns a TLC SSD configuration.
@@ -171,6 +217,16 @@ type Report struct {
 	MeanWriteUS   float64
 	TotalRetries  int64
 	GCWrites      int64
+	// UncorrectableReads counts page-level reads the device had to fail
+	// back to the host (ECC hard failures after the full retry budget).
+	// Requests span one or more pages, so this can exceed Reads.
+	UncorrectableReads int64
+	// FallbackReads counts page-level reads serviced in degraded mode
+	// (the policy abandoned its primary inference path mid-read).
+	FallbackReads int64
+	// RetiredBlocks counts blocks the FTL took out of service after
+	// program/erase failures during the run (including preconditioning).
+	RetiredBlocks int64
 }
 
 func (r *Report) finalize(writeSum float64) {
@@ -203,10 +259,15 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 	if sampler == nil {
 		return nil, fmt.Errorf("ssdsim: nil sampler")
 	}
+	if es, ok := sampler.(*EmpiricalSampler); ok && es.PageTypes() != cfg.Bits {
+		return nil, fmt.Errorf("ssdsim: sampler covers %d page types, config has %d bits",
+			es.PageTypes(), cfg.Bits)
+	}
 	f, err := ftl.New(cfg.Geo)
 	if err != nil {
 		return nil, err
 	}
+	f.Faults = cfg.PEFaults
 	return &Sim{
 		cfg:      cfg,
 		ftl:      f,
@@ -277,6 +338,7 @@ func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
 		}
 	}
 	rep.GCWrites = s.ftl.GCWrites
+	rep.RetiredBlocks = s.ftl.BadBlocks
 	rep.finalize(writeSum)
 	return rep, nil
 }
@@ -293,6 +355,12 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 	pageType := ppn.Page % s.cfg.Bits
 	out := s.sampler.Sample(pageType, s.rng)
 	rep.TotalRetries += int64(out.Retries)
+	if out.Uncorrectable {
+		rep.UncorrectableReads++
+	}
+	if out.UsedFallback {
+		rep.FallbackReads++
+	}
 	attempts := float64(out.Retries + 1)
 	lat := s.cfg.Lat
 	dieTime := attempts*(lat.SenseBase+float64(levelsOf(pageType))*lat.SensePerLevel) +
