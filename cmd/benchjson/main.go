@@ -1,0 +1,207 @@
+// Command benchjson converts `go test -bench` output into a stable,
+// machine-readable JSON document, optionally comparing the run against a
+// recorded baseline. CI uses it to publish kernel benchmark numbers as an
+// artifact; BENCH_PR3.json at the repository root was produced with it.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem ./... | benchjson [-baseline file] [-o out]
+//
+// The input may also be given as a file argument. The output schema is
+//
+//	{
+//	  "schema": "sentinel3d-bench-v1",
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...", "pkg": "...",
+//	  "current":  {"Sense": {"iterations": N, "ns_per_op": ..., ...}},
+//	  "baseline": { ... same shape, when -baseline is given ... },
+//	  "comparison": {"Sense": {"speedup": ..., "alloc_reduction": ...}}
+//	}
+//
+// A baseline file may be a previous benchjson document (its "baseline"
+// map is preferred, then "current") or a bare name->result map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements. BytesPerOp and AllocsPerOp are
+// pointers so runs without -benchmem round-trip as absent, not zero.
+type Result struct {
+	Iterations  int64    `json:"iterations,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Comparison relates one benchmark's current run to its baseline.
+type Comparison struct {
+	// Speedup is baseline ns/op divided by current ns/op (>1 is faster).
+	Speedup float64 `json:"speedup"`
+	// AllocReduction is baseline allocs/op divided by current allocs/op;
+	// it is omitted when either side lacks -benchmem data and set to
+	// baseline allocs/op (the reduction factor toward zero) when the
+	// current run reaches zero allocations.
+	AllocReduction *float64 `json:"alloc_reduction,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Schema     string                `json:"schema"`
+	Goos       string                `json:"goos,omitempty"`
+	Goarch     string                `json:"goarch,omitempty"`
+	CPU        string                `json:"cpu,omitempty"`
+	Pkg        string                `json:"pkg,omitempty"`
+	Current    map[string]Result     `json:"current"`
+	Baseline   map[string]Result     `json:"baseline,omitempty"`
+	Comparison map[string]Comparison `json:"comparison,omitempty"`
+}
+
+const schema = "sentinel3d-bench-v1"
+
+// benchLine matches one result row; the -N GOMAXPROCS suffix is folded
+// into the name capture's lazy match.
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Schema: schema, Current: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, meta := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &doc.Goos}, {"goarch: ", &doc.Goarch},
+			{"cpu: ", &doc.CPU}, {"pkg: ", &doc.Pkg},
+		} {
+			if v, ok := strings.CutPrefix(line, meta.prefix); ok {
+				*meta.dst = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b, _ := strconv.ParseFloat(m[4], 64)
+			res.BytesPerOp = &b
+		}
+		if m[5] != "" {
+			a, _ := strconv.ParseFloat(m[5], 64)
+			res.AllocsPerOp = &a
+		}
+		doc.Current[m[1]] = res // last run of a repeated name wins
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Current) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return doc, nil
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev struct {
+		Baseline map[string]Result `json:"baseline"`
+		Current  map[string]Result `json:"current"`
+	}
+	if err := json.Unmarshal(raw, &prev); err == nil {
+		if len(prev.Baseline) > 0 {
+			return prev.Baseline, nil
+		}
+		if len(prev.Current) > 0 {
+			return prev.Current, nil
+		}
+	}
+	var bare map[string]Result
+	if err := json.Unmarshal(raw, &bare); err != nil {
+		return nil, fmt.Errorf("%s: not a benchjson document or result map: %w", path, err)
+	}
+	return bare, nil
+}
+
+func compare(base, cur map[string]Result) map[string]Comparison {
+	out := map[string]Comparison{}
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok || c.NsPerOp == 0 {
+			continue
+		}
+		cmp := Comparison{Speedup: b.NsPerOp / c.NsPerOp}
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			red := *b.AllocsPerOp
+			if *c.AllocsPerOp > 0 {
+				red = *b.AllocsPerOp / *c.AllocsPerOp
+			}
+			cmp.AllocReduction = &red
+		}
+		out[name] = cmp
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline JSON to embed and compare against")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	doc, err := parse(in)
+	if err != nil {
+		fail(err)
+	}
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		doc.Baseline = base
+		doc.Comparison = compare(base, doc.Current)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package main
+
+import "strings"
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sentinel3d/internal/flash
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSense-8         	     925	   2509989 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReadOpReuse     	    4207	    596256 ns/op	       1 B/op	       0 allocs/op
+BenchmarkNoMem           	     100	     12345.5 ns/op
+PASS
+ok  	sentinel3d/internal/flash	10.1s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Pkg != "sentinel3d/internal/flash" || doc.Goos != "linux" {
+		t.Fatalf("metadata not captured: %+v", doc)
+	}
+	s, ok := doc.Current["Sense"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", doc.Current)
+	}
+	if s.Iterations != 925 || s.NsPerOp != 2509989 ||
+		s.BytesPerOp == nil || *s.BytesPerOp != 0 ||
+		s.AllocsPerOp == nil || *s.AllocsPerOp != 0 {
+		t.Fatalf("Sense = %+v", s)
+	}
+	nm := doc.Current["NoMem"]
+	if nm.NsPerOp != 12345.5 || nm.BytesPerOp != nil || nm.AllocsPerOp != nil {
+		t.Fatalf("NoMem = %+v", nm)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected error on benchmark-free input")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	base := map[string]Result{
+		"A": {NsPerOp: 200, AllocsPerOp: f(10)},
+		"B": {NsPerOp: 300, AllocsPerOp: f(6)},
+		"C": {NsPerOp: 50}, // absent from current
+	}
+	cur := map[string]Result{
+		"A": {NsPerOp: 100, AllocsPerOp: f(0)},
+		"B": {NsPerOp: 150, AllocsPerOp: f(2)},
+		"D": {NsPerOp: 1}, // absent from baseline
+	}
+	cmp := compare(base, cur)
+	if len(cmp) != 2 {
+		t.Fatalf("compare covered %v, want A and B only", cmp)
+	}
+	if a := cmp["A"]; a.Speedup != 2 || a.AllocReduction == nil || *a.AllocReduction != 10 {
+		t.Fatalf("A = %+v (zero-alloc current should report baseline allocs)", a)
+	}
+	if b := cmp["B"]; b.Speedup != 2 || *b.AllocReduction != 3 {
+		t.Fatalf("B = %+v", b)
+	}
+}

@@ -83,6 +83,35 @@ func (l *Lab) SweepCurve(b, wl, v int) (offs []float64, errs []float64) {
 	return offs, errs
 }
 
+// SweepCurves returns the offset grid and, per read voltage (index v-1),
+// the averaged total error curve of voltage v — the full family of
+// Figure 2 curves. All voltages share each repetition's read operation
+// (one threshold-voltage materialization serves every boundary), so the
+// whole family costs AverageReads reads instead of AverageReads per
+// voltage, and each curve is byte-identical to SweepCurve's.
+func (l *Lab) SweepCurves(b, wl int) (offs []float64, errs [][]float64) {
+	offs = l.Grid()
+	nv := l.Chip.Coding().NumVoltages()
+	errs = make([][]float64, nv)
+	for v := range errs {
+		errs[v] = make([]float64, len(offs))
+	}
+	for rep := 0; rep < l.AverageReads; rep++ {
+		rows := l.Chip.SweepAllVoltages(b, wl, offs, l.readSeed(b, wl, rep))
+		for v := range errs {
+			for i, e := range rows[v] {
+				errs[v][i] += float64(e)
+			}
+		}
+	}
+	for v := range errs {
+		for i := range errs[v] {
+			errs[v][i] /= float64(l.AverageReads)
+		}
+	}
+	return offs, errs
+}
+
 // OptimalOffsets locates the ground-truth optimal offset of every read
 // voltage on wordline (b, wl) by exhaustive sweep, exactly as a tester
 // would.
@@ -288,28 +317,32 @@ func (l *Lab) CollectErrorMap(b, segments int) *ErrorMap {
 		Segments:      segments,
 	}
 	cells := cfg.CellsPerWordline
-	segOf := func(cell int) int {
-		s := cell * segments / cells
-		if s >= segments {
-			s = segments - 1
-		}
-		return s
+	// Segment s covers cells with cell*segments/cells == s, i.e. the
+	// half-open range [ceil(s*cells/segments), ceil((s+1)*cells/segments)).
+	bounds := make([]int, segments+1)
+	for s := range bounds {
+		bounds[s] = (s*cells + segments - 1) / segments
 	}
 	parallel.ForEach(nwl, func(wl int) {
 		m.SegmentCounts[wl] = make([]int, segments)
 		if !l.Chip.IsProgrammed(b, wl) {
 			return
 		}
+		read := flash.GetBitmap(cells)
+		truth := flash.GetBitmap(cells)
 		for p := 0; p < l.Chip.Coding().Bits(); p++ {
-			read := l.Chip.ReadPage(b, wl, p, nil, l.readSeed(b, wl, 200+p))
-			truth := l.Chip.TrueBits(b, wl, p)
-			for i := 0; i < cells; i++ {
-				if read.Get(i) != truth.Get(i) {
-					m.PerWordline[wl]++
-					m.SegmentCounts[wl][segOf(i)]++
-				}
+			op := l.Chip.BeginRead(b, wl, l.readSeed(b, wl, 200+p))
+			read = op.ReadPageInto(read, p, nil)
+			op.Close()
+			truth = l.Chip.TrueBitsInto(truth, b, wl, p)
+			for s := 0; s < segments; s++ {
+				n := read.XorCountRange(truth, bounds[s], bounds[s+1])
+				m.SegmentCounts[wl][s] += n
+				m.PerWordline[wl] += n
 			}
 		}
+		flash.PutBitmap(truth)
+		flash.PutBitmap(read)
 	})
 	return m
 }

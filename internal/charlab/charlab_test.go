@@ -65,6 +65,30 @@ func TestSweepCurveVShaped(t *testing.T) {
 	}
 }
 
+func TestSweepCurvesMatchSweepCurve(t *testing.T) {
+	// The fused all-voltage sweep promises byte-identical curves to the
+	// per-voltage path — same read seeds, same counts, same float
+	// accumulation order.
+	c := smallChip(t, flash.QLC, 1000, physics.YearHours)
+	l := New(c)
+	offs, curves := l.SweepCurves(0, 1)
+	if len(curves) != c.Coding().NumVoltages() {
+		t.Fatalf("got %d curves, want %d", len(curves), c.Coding().NumVoltages())
+	}
+	for v := 1; v <= len(curves); v++ {
+		wantOffs, want := l.SweepCurve(0, 1, v)
+		if len(offs) != len(wantOffs) {
+			t.Fatal("grid length mismatch")
+		}
+		for i := range want {
+			if curves[v-1][i] != want[i] {
+				t.Fatalf("V%d at %v: SweepCurves %v != SweepCurve %v",
+					v, offs[i], curves[v-1][i], want[i])
+			}
+		}
+	}
+}
+
 func TestOptimalOffsetsReduceRBER(t *testing.T) {
 	c := smallChip(t, flash.QLC, 1000, physics.YearHours)
 	l := New(c)

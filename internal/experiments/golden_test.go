@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// Golden regression digests for the fused read kernel. The read stack
+// promises *byte-identical* results across refactors and worker counts:
+// the same hash draws in the same order, the same floating-point
+// grouping, the same formatting. These digests were captured on the
+// pre-kernel scalar read path; any divergence — a reordered reduction, a
+// changed hash stream, an FP regrouping — is a bug, not an update to be
+// re-recorded casually.
+const (
+	goldenFig2Quick  = "ef6135903f7b556c"
+	goldenFig13Quick = "30d208461a899976"
+)
+
+func digest(v any) string {
+	d := sha256.Sum256([]byte(fmt.Sprintf("%v", v)))
+	return fmt.Sprintf("%x", d[:8])
+}
+
+func TestGoldenDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are slow; skipped in -short")
+	}
+	s := Quick()
+	for _, w := range []int{1, 8} {
+		withWorkers(w, func() {
+			r2, err := Fig2ErrorVsOffset(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digest(r2); got != goldenFig2Quick {
+				t.Errorf("workers=%d: Fig2ErrorVsOffset digest %s, want %s",
+					w, got, goldenFig2Quick)
+			}
+			r13, err := Fig13RetryCount(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digest(r13); got != goldenFig13Quick {
+				t.Errorf("workers=%d: Fig13RetryCount digest %s, want %s",
+					w, got, goldenFig13Quick)
+			}
+		})
+	}
+}

@@ -31,13 +31,9 @@ func Fig2ErrorVsOffset(s Scale) (*Fig2Result, error) {
 	}
 	lab := charlab.New(chip)
 	res := &Fig2Result{Kind: flash.TLC}
-	nv := chip.Coding().NumVoltages()
-	res.Errors = make([][]float64, nv)
-	offsets := make([][]float64, nv)
-	parallel.ForEach(nv, func(i int) {
-		offsets[i], res.Errors[i] = lab.SweepCurve(0, 0, i+1)
-	})
-	res.Offsets = offsets[0]
+	// One fused sweep covers every voltage from the same read operations,
+	// byte-identical to the former per-voltage fan-out.
+	res.Offsets, res.Errors = lab.SweepCurves(0, 0)
 	return res, nil
 }
 

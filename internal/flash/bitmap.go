@@ -45,15 +45,41 @@ func (b Bitmap) XorCount(o Bitmap) int {
 }
 
 // XorCountRange returns the number of differing positions within
-// [start, end).
+// [start, end): whole 64-bit words in the interior, masked popcounts at
+// the edges.
 func (b Bitmap) XorCountRange(o Bitmap, start, end int) int {
-	n := 0
-	for i := start; i < end; i++ {
-		if b.Get(i) != o.Get(i) {
-			n++
-		}
+	if start >= end {
+		return 0
 	}
-	return n
+	sw, ew := start>>6, (end-1)>>6
+	headMask := ^uint64(0) << (uint(start) & 63)
+	tailMask := ^uint64(0) >> (63 - (uint(end-1) & 63))
+	if sw == ew {
+		return bits.OnesCount64((b[sw] ^ o[sw]) & headMask & tailMask)
+	}
+	n := bits.OnesCount64((b[sw] ^ o[sw]) & headMask)
+	for i := sw + 1; i < ew; i++ {
+		n += bits.OnesCount64(b[i] ^ o[i])
+	}
+	return n + bits.OnesCount64((b[ew]^o[ew])&tailMask)
+}
+
+// PopCountRange returns the number of set bits within [start, end).
+func (b Bitmap) PopCountRange(start, end int) int {
+	if start >= end {
+		return 0
+	}
+	sw, ew := start>>6, (end-1)>>6
+	headMask := ^uint64(0) << (uint(start) & 63)
+	tailMask := ^uint64(0) >> (63 - (uint(end-1) & 63))
+	if sw == ew {
+		return bits.OnesCount64(b[sw] & headMask & tailMask)
+	}
+	n := bits.OnesCount64(b[sw] & headMask)
+	for i := sw + 1; i < ew; i++ {
+		n += bits.OnesCount64(b[i])
+	}
+	return n + bits.OnesCount64(b[ew]&tailMask)
 }
 
 // Clone returns a copy of b.

@@ -64,6 +64,45 @@ func TestXorCountRangeSubset(t *testing.T) {
 	}
 }
 
+// xorCountRangeRef is the pre-optimization bit-by-bit implementation,
+// kept as the oracle for the masked-word rewrite.
+func xorCountRangeRef(a, b Bitmap, start, end int) int {
+	n := 0
+	for i := start; i < end; i++ {
+		if a.Get(i) != b.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestXorCountRangeMatchesBitByBit(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := mathx.NewRand(uint64(seed))
+		n := 64 + r.Intn(300)
+		a, b := NewBitmap(n), NewBitmap(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, r.Float64() < 0.5)
+			b.Set(i, r.Float64() < 0.5)
+		}
+		for trial := 0; trial < 16; trial++ {
+			start := r.Intn(n + 1)
+			end := start + r.Intn(n+1-start)
+			if a.XorCountRange(b, start, end) != xorCountRangeRef(a, b, start, end) {
+				return false
+			}
+			if a.PopCountRange(start, end) != xorCountRangeRef(a, NewBitmap(n), start, end) {
+				return false
+			}
+		}
+		// Degenerate ranges.
+		return a.XorCountRange(b, 5, 5) == 0 && a.PopCountRange(n, n) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBitmapClone(t *testing.T) {
 	a := NewBitmap(64)
 	a.Set(5, true)

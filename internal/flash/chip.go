@@ -118,11 +118,16 @@ func (c Config) Validate() error {
 // Concurrency: a Chip has no internal locking; its safety contract is the
 // usual "reads may run concurrently, writes may not". Concretely:
 //
-//   - All read paths (Sense, ReadPage, ReadStates, VoltageErrors,
+//   - All read paths (BeginRead and every ReadOp query, plus the
+//     one-shot wrappers Sense, ReadPage, ReadStates, VoltageErrors,
 //     SweepVoltageErrors, IsProgrammed, Stress, and the accessors) only
 //     read chip state — the physics model is stateless (every frozen
 //     offset is re-derived by hashing) — so any number may run
-//     concurrently with each other on any wordlines.
+//     concurrently with each other on any wordlines. The pooled scratch
+//     buffers behind them (vth vectors, bitmaps, sweep histograms) are
+//     handed out per call through sync.Pools, never shared: concurrent
+//     readers each hold private buffers. A single *ReadOp*, however, is
+//     not for concurrent use — one goroutine per handle.
 //   - ProgramStates writes only its own wordline's slot (including the
 //     zcache fill when CacheZ is set), so concurrent programs of
 //     *distinct* wordlines are safe, as are concurrent reads of other,
@@ -338,10 +343,7 @@ func (c *Chip) ProgramStates(b, wl int, states []uint8) error {
 		if w.zcache == nil {
 			w.zcache = make([]float32, len(states))
 		}
-		g := c.globalWL(b, wl)
-		for i := range w.zcache {
-			w.zcache[i] = float32(c.model.CellZ(g, i, w.epoch))
-		}
+		c.model.FillCellZ(c.globalWL(b, wl), w.epoch, w.zcache)
 	} else {
 		w.zcache = nil
 	}
@@ -355,12 +357,14 @@ func (c *Chip) ProgramStates(b, wl int, states []uint8) error {
 // valid by construction); with a fault model attached it can be
 // ErrProgramFault.
 func (c *Chip) ProgramRandom(b, wl int, rng *mathx.Rand) error {
-	states := make([]uint8, c.cfg.CellsPerWordline)
+	states := statePool.get(c.cfg.CellsPerWordline)
 	n := c.coding.States()
 	for i := range states {
 		states[i] = uint8(rng.Intn(n))
 	}
-	return c.ProgramStates(b, wl, states)
+	err := c.ProgramStates(b, wl, states) // copies; safe to recycle
+	statePool.put(states)
+	return err
 }
 
 // IsProgrammed reports whether wordline (b, wl) holds data.
@@ -384,8 +388,10 @@ func (c *Chip) States(b, wl int) []uint8 {
 }
 
 // vthAll fills buf with every cell's threshold voltage for one read
-// operation (one shared read seed). It returns the filled slice.
-func (c *Chip) vthAll(b, wl int, readSeed uint64, buf []float64) []float64 {
+// operation (one shared read seed). It returns the filled slice. env is
+// caller-owned scratch for the resolved wordline environment (its slices
+// are reused), so the steady-state path performs no allocations.
+func (c *Chip) vthAll(b, wl int, readSeed uint64, buf []float64, env *physics.WLEnv) []float64 {
 	w := &c.blocks[b].wls[wl]
 	if !w.programmed {
 		panic("flash: read of unprogrammed wordline")
@@ -396,8 +402,12 @@ func (c *Chip) vthAll(b, wl int, readSeed uint64, buf []float64) []float64 {
 	}
 	buf = buf[:n]
 	g := c.globalWL(b, wl)
-	env := c.model.Env(c.LayerOf(wl), g, c.blocks[b].stress)
+	c.model.EnvInto(env, c.LayerOf(wl), g, c.blocks[b].stress)
 	if w.zcache != nil {
+		// Batched form of the per-cell sum: the sensing-noise hash stream
+		// setup is hoisted out of the loop (physics.NoiseStream); the
+		// floating-point grouping matches the scalar path exactly.
+		ns := c.model.Noise(readSeed)
 		nf := float64(n)
 		for i := 0; i < n; i++ {
 			s := int(w.states[i])
@@ -408,12 +418,10 @@ func (c *Chip) vthAll(b, wl int, readSeed uint64, buf []float64) []float64 {
 			}
 			buf[i] = env.Mean[s] + grad +
 				env.Sigma[s]*float64(w.zcache[i]) +
-				c.model.ReadNoise(readSeed, i)
+				ns.At(i)
 		}
 	} else {
-		for i := 0; i < n; i++ {
-			buf[i] = c.model.CellVth(env, g, i, n, int(w.states[i]), w.epoch, readSeed)
-		}
+		c.model.FillVth(*env, g, w.states, w.epoch, readSeed, buf)
 	}
 	if c.faults != nil {
 		c.faults.PerturbVth(b, wl, readSeed, buf)
@@ -453,63 +461,58 @@ func (c *Chip) voltage(v int, o Offsets) float64 {
 // ReadPage senses page p of wordline (b, wl) with the given offsets and
 // returns the readout as a bitmap (bit i = cell i's page bit). Each call
 // is one read operation with fresh sensing noise derived from readSeed.
+// The result comes from the shared bitmap pool: callers on hot paths may
+// recycle it with PutBitmap, others can simply drop it.
 func (c *Chip) ReadPage(b, wl, p int, o Offsets, readSeed uint64) Bitmap {
-	c.checkAddr(b, wl)
-	vths := c.vthAll(b, wl, readSeed, nil)
-	pv := c.coding.PageVoltages(p)
-	volts := make([]float64, len(pv))
-	for i, v := range pv {
-		volts[i] = c.voltage(v, o)
-	}
-	out := NewBitmap(len(vths))
-	for i, vth := range vths {
-		below := 0
-		for _, rv := range volts {
-			if vth >= rv {
-				below++
-			} else {
-				break // voltages ascend; once above Vth, all are
-			}
-		}
-		if c.coding.ReadBit(p, below) == 1 {
-			out.Set(i, true)
-		}
-	}
-	return out
+	op := c.BeginRead(b, wl, readSeed)
+	defer op.Close()
+	return op.ReadPageInto(GetBitmap(c.cfg.CellsPerWordline), p, o)
 }
 
 // TrueBits returns the programmed (ground-truth) bits of page p on
 // wordline (b, wl).
 func (c *Chip) TrueBits(b, wl, p int) Bitmap {
+	return c.TrueBitsInto(nil, b, wl, p)
+}
+
+// TrueBitsInto is TrueBits writing into dst (reused when its capacity
+// suffices, otherwise freshly allocated).
+func (c *Chip) TrueBitsInto(dst Bitmap, b, wl, p int) Bitmap {
 	c.checkAddr(b, wl)
 	w := &c.blocks[b].wls[wl]
 	if !w.programmed {
 		panic("flash: TrueBits of unprogrammed wordline")
 	}
-	out := NewBitmap(len(w.states))
-	for i, s := range w.states {
-		if c.coding.PageBit(int(s), p) == 1 {
-			out.Set(i, true)
-		}
+	var bitOf [16]uint64
+	for s := 0; s < c.coding.States(); s++ {
+		bitOf[s] = uint64(c.coding.PageBit(s, p))
 	}
-	return out
+	n := len(w.states)
+	dst = ensureBitmap(dst, n)
+	i := 0
+	for wi := range dst {
+		lim := i + 64
+		if lim > n {
+			lim = n
+		}
+		var word uint64
+		for ; i < lim; i++ {
+			word |= bitOf[w.states[i]] << (uint(i) & 63)
+		}
+		dst[wi] = word
+	}
+	return dst
 }
 
 // Sense applies the single read voltage v (with offset) and returns a
 // bitmap where bit i is set when cell i's Vth is at or above the voltage.
 // This models one sensing level — the primitive from which LSB reads and
-// the calibration state-change counts are built.
+// the calibration state-change counts are built. The result comes from
+// the shared bitmap pool, like ReadPage's.
 func (c *Chip) Sense(b, wl, v int, offset float64, readSeed uint64) Bitmap {
-	c.checkAddr(b, wl)
-	vths := c.vthAll(b, wl, readSeed, nil)
-	rv := c.model.DefaultReadVoltage(v) + offset
-	out := NewBitmap(len(vths))
-	for i, vth := range vths {
-		if vth >= rv {
-			out.Set(i, true)
-		}
-	}
-	return out
+	op := c.BeginRead(b, wl, readSeed)
+	defer op.Close()
+	return op.SenseInto(GetBitmap(c.cfg.CellsPerWordline), v, offset)
 }
 
 // VoltageErrors counts the up and down errors introduced by read voltage
@@ -517,28 +520,17 @@ func (c *Chip) Sense(b, wl, v int, offset float64, readSeed uint64) Bitmap {
 // boundary (state <= v-1) but sensed above it; down errors the converse.
 // This is the paper's per-voltage error metric (Figs. 16-18).
 func (c *Chip) VoltageErrors(b, wl, v int, offset float64, readSeed uint64) (up, down int) {
-	c.checkAddr(b, wl)
-	w := &c.blocks[b].wls[wl]
-	vths := c.vthAll(b, wl, readSeed, nil)
-	rv := c.model.DefaultReadVoltage(v) + offset
-	for i, vth := range vths {
-		trueBelow := int(w.states[i]) <= v-1
-		readBelow := vth < rv
-		if trueBelow && !readBelow {
-			up++
-		} else if !trueBelow && readBelow {
-			down++
-		}
-	}
-	return up, down
+	op := c.BeginRead(b, wl, readSeed)
+	defer op.Close()
+	return op.VoltageErrors(v, offset)
 }
 
 // CountPageErrors reads page p with offsets o and returns the number of
 // bit errors against the programmed data.
 func (c *Chip) CountPageErrors(b, wl, p int, o Offsets, readSeed uint64) int {
-	read := c.ReadPage(b, wl, p, o, readSeed)
-	truth := c.TrueBits(b, wl, p)
-	return read.XorCount(truth)
+	op := c.BeginRead(b, wl, readSeed)
+	defer op.Close()
+	return op.CountPageErrors(p, o)
 }
 
 // PageRBER returns CountPageErrors divided by the wordline cell count.

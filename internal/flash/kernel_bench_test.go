@@ -1,0 +1,76 @@
+package flash
+
+import (
+	"testing"
+
+	"sentinel3d/internal/mathx"
+)
+
+// benchChip returns a programmed paper-geometry TLC chip shared by the
+// kernel benchmarks. The wordline is programmed once; every benchmark
+// below is read-only.
+func benchChip(b *testing.B) *Chip {
+	cfg := DefaultConfig(TLC)
+	cfg.WordlinesPerLayer = 1 // one wordline per layer is plenty for reads
+	chip := MustNew(cfg)
+	if err := chip.ProgramRandom(0, 0, mathx.NewRand(42)); err != nil {
+		b.Fatal(err)
+	}
+	return chip
+}
+
+func benchGrid() []float64 {
+	var offs []float64
+	for o := -60.0; o <= 30.0+1e-9; o++ {
+		offs = append(offs, o)
+	}
+	return offs
+}
+
+func BenchmarkSense(b *testing.B) {
+	chip := benchChip(b)
+	sv := chip.Coding().SentinelVoltage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PutBitmap(chip.Sense(0, 0, sv, 0, uint64(i)))
+	}
+}
+
+func BenchmarkReadPage(b *testing.B) {
+	chip := benchChip(b)
+	msb := chip.Coding().Bits() - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PutBitmap(chip.ReadPage(0, 0, msb, nil, uint64(i)))
+	}
+}
+
+// BenchmarkReadOpReuse measures the marginal cost of extra queries on an
+// open ReadOp — the fused-kernel win: the threshold-voltage vector is
+// materialized once, outside the loop.
+func BenchmarkReadOpReuse(b *testing.B) {
+	chip := benchChip(b)
+	sv := chip.Coding().SentinelVoltage()
+	msb := chip.Coding().Bits() - 1
+	op := chip.BeginRead(0, 0, 1)
+	defer op.Close()
+	var sense, page Bitmap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sense = op.SenseInto(sense, sv, 0)
+		page = op.ReadPageInto(page, msb, nil)
+	}
+}
+
+func BenchmarkSweepAllVoltages(b *testing.B) {
+	chip := benchChip(b)
+	offs := benchGrid()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.SweepAllVoltages(0, 0, offs, uint64(i))
+	}
+}

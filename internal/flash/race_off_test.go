@@ -1,0 +1,5 @@
+//go:build !race
+
+package flash
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package flash
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// intentionally drops items under -race, so allocation-count tests are
+// meaningless there.
+const raceEnabled = true

@@ -1,0 +1,182 @@
+package flash
+
+import "sentinel3d/internal/physics"
+
+// ReadOp is the fused read kernel: one handle per read operation of a
+// wordline. BeginRead materializes the wordline's per-cell threshold
+// voltages exactly once — the expensive part of every read — and any
+// number of Sense / ReadPage / VoltageErrors / sweep queries are then
+// served from that vector without re-deriving it. The chip-level
+// convenience methods (Chip.Sense, Chip.ReadPage, ...) are one-query
+// wrappers around a ReadOp.
+//
+// Lifetime and pooling: a ReadOp borrows its threshold-voltage buffer
+// (and the struct itself) from package-level pools; call Close when done
+// — queries after Close are invalid. Close is idempotent. The ...Into
+// query variants write into a caller-supplied bitmap when its capacity
+// suffices, so a steady-state caller that recycles its buffers performs
+// no allocations at all.
+//
+// Concurrency: a ReadOp is read-only with respect to the chip and may be
+// used concurrently with other ReadOps (including on the same wordline),
+// but a single ReadOp must not be shared between goroutines. The chip
+// must not be mutated (program/erase/aging) while any ReadOp on it is
+// open, exactly as for the chip's read methods.
+type ReadOp struct {
+	c        *Chip
+	b, wl    int
+	readSeed uint64
+	vth      []float64
+	states   []uint8
+	// env is scratch for the resolved wordline environment; its slices
+	// are retained across pool cycles so BeginRead never allocates in
+	// steady state.
+	env physics.WLEnv
+}
+
+// BeginRead opens one read operation on wordline (b, wl): it computes the
+// threshold voltage of every cell under the wordline's current stress for
+// one shared sensing-noise draw (readSeed), applying any attached fault
+// model, and returns the handle serving queries against that snapshot.
+// It panics if the wordline holds no data, like every read.
+func (c *Chip) BeginRead(b, wl int, readSeed uint64) *ReadOp {
+	c.checkAddr(b, wl)
+	op, _ := readOpPool.Get().(*ReadOp)
+	if op == nil {
+		op = new(ReadOp)
+	}
+	op.c, op.b, op.wl, op.readSeed = c, b, wl, readSeed
+	op.vth = c.vthAll(b, wl, readSeed, vthPool.get(c.cfg.CellsPerWordline), &op.env)
+	op.states = c.blocks[b].wls[wl].states
+	return op
+}
+
+// Close returns the handle's buffers to the pools. The ReadOp (and any
+// slice previously returned by its queries into pooled buffers) must not
+// be used afterwards. Close is safe to call twice.
+func (op *ReadOp) Close() {
+	if op.c == nil {
+		return
+	}
+	vthPool.put(op.vth)
+	op.c, op.vth, op.states = nil, nil, nil
+	readOpPool.Put(op)
+}
+
+// Cells returns the number of cells covered by the read.
+func (op *ReadOp) Cells() int { return len(op.vth) }
+
+// ensureBitmap returns dst resliced for n bits when its capacity
+// suffices, or a fresh bitmap otherwise. The caller is expected to
+// overwrite every word.
+func ensureBitmap(dst Bitmap, n int) Bitmap {
+	words := (n + 63) / 64
+	if cap(dst) >= words {
+		return dst[:words]
+	}
+	return NewBitmap(n)
+}
+
+// Sense applies the single read voltage v (1-based) at the given offset
+// and returns a bitmap with bit i set when cell i's Vth is at or above
+// the voltage. The caller owns the result.
+func (op *ReadOp) Sense(v int, offset float64) Bitmap {
+	return op.SenseInto(nil, v, offset)
+}
+
+// SenseInto is Sense writing into dst (reused when large enough).
+func (op *ReadOp) SenseInto(dst Bitmap, v int, offset float64) Bitmap {
+	rv := op.c.model.DefaultReadVoltage(v) + offset
+	n := len(op.vth)
+	dst = ensureBitmap(dst, n)
+	i := 0
+	for wi := range dst {
+		lim := i + 64
+		if lim > n {
+			lim = n
+		}
+		var w uint64
+		for ; i < lim; i++ {
+			if op.vth[i] >= rv {
+				w |= 1 << (uint(i) & 63)
+			}
+		}
+		dst[wi] = w
+	}
+	return dst
+}
+
+// ReadPage senses page p with the given offsets and returns the readout
+// as a bitmap (bit i = cell i's page bit). The caller owns the result.
+func (op *ReadOp) ReadPage(p int, o Offsets) Bitmap {
+	return op.ReadPageInto(nil, p, o)
+}
+
+// ReadPageInto is ReadPage writing into dst (reused when large enough).
+func (op *ReadOp) ReadPageInto(dst Bitmap, p int, o Offsets) Bitmap {
+	coding := op.c.coding
+	pv := coding.PageVoltages(p)
+	var voltsArr [8]float64
+	volts := voltsArr[:0]
+	if len(pv) > len(voltsArr) {
+		volts = make([]float64, 0, len(pv))
+	}
+	for _, v := range pv {
+		volts = append(volts, op.c.voltage(v, o))
+	}
+	start := uint64(coding.ReadBit(p, 0))
+	n := len(op.vth)
+	dst = ensureBitmap(dst, n)
+	i := 0
+	for wi := range dst {
+		lim := i + 64
+		if lim > n {
+			lim = n
+		}
+		var w uint64
+		for ; i < lim; i++ {
+			vth := op.vth[i]
+			below := 0
+			for _, rv := range volts {
+				if vth >= rv {
+					below++
+				} else {
+					break // voltages ascend; once above Vth, all are
+				}
+			}
+			w |= (start ^ uint64(below&1)) << (uint(i) & 63)
+		}
+		dst[wi] = w
+	}
+	return dst
+}
+
+// VoltageErrors counts the up and down errors read voltage v (1-based)
+// introduces at the given offset: up errors are cells programmed below
+// the boundary (state <= v-1) but sensed above it; down errors the
+// converse.
+func (op *ReadOp) VoltageErrors(v int, offset float64) (up, down int) {
+	rv := op.c.model.DefaultReadVoltage(v) + offset
+	for i, vth := range op.vth {
+		trueBelow := int(op.states[i]) <= v-1
+		readBelow := vth < rv
+		if trueBelow && !readBelow {
+			up++
+		} else if !trueBelow && readBelow {
+			down++
+		}
+	}
+	return up, down
+}
+
+// CountPageErrors reads page p with offsets o and counts bit errors
+// against the programmed data, using only pooled scratch.
+func (op *ReadOp) CountPageErrors(p int, o Offsets) int {
+	n := len(op.vth)
+	read := op.ReadPageInto(GetBitmap(n), p, o)
+	truth := op.c.TrueBitsInto(GetBitmap(n), op.b, op.wl, p)
+	errs := read.XorCount(truth)
+	PutBitmap(truth)
+	PutBitmap(read)
+	return errs
+}

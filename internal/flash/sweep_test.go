@@ -1,6 +1,7 @@
 package flash
 
 import (
+	"math"
 	"testing"
 
 	"sentinel3d/internal/mathx"
@@ -87,6 +88,99 @@ func TestSweepPanicsOnUnsortedOffsets(t *testing.T) {
 		}
 	}()
 	c.SweepVoltageErrors(0, 0, 8, []float64{0, -10, 10}, 1)
+}
+
+func crossCheckSweep(t *testing.T, bases, vths []float64, states []uint8, nstates int, offs []float64) {
+	t.Helper()
+	mups, mdowns := sweepMulti(bases, vths, states, nstates, offs)
+	for v := range bases {
+		u, d := sweepOne(bases[v], vths, states, v+1, offs)
+		for i := range offs {
+			if u[i] != mups[v][i] || d[i] != mdowns[v][i] {
+				t.Fatalf("voltage %d offset %v: sweepMulti (%d,%d) != sweepOne (%d,%d)\nbases=%v\noffs=%v",
+					v+1, offs[i], mups[v][i], mdowns[v][i], u[i], d[i], bases, offs)
+			}
+		}
+	}
+}
+
+// sweepTrial generates one adversarial sweep instance from a seed and
+// cross-checks the one-pass kernel against the reference. Threshold
+// voltages are deliberately planted exactly on and one ulp around the
+// decision boundaries, where a naive fl(base+off) comparison diverges
+// from the reference's fl(vth-base) predicate.
+func sweepTrial(t *testing.T, seed uint64) {
+	r := mathx.NewRand(seed)
+	nstates := 2 + r.Intn(15)
+	nv := nstates - 1
+	bases := make([]float64, nv)
+	b := (r.Float64() - 0.5) * 20
+	for v := range bases {
+		b += r.Float64() * 3
+		bases[v] = b
+	}
+	noffs := r.Intn(12)
+	offs := make([]float64, noffs)
+	o := (r.Float64() - 0.5) * 10
+	for k := range offs {
+		if r.Intn(4) > 0 { // leave duplicates with probability 1/4
+			o += r.Float64() * 2
+		}
+		offs[k] = o
+	}
+	if noffs > 0 && r.Intn(8) == 0 {
+		offs[0] = math.Inf(-1)
+	}
+	if noffs > 0 && r.Intn(8) == 0 {
+		offs[noffs-1] = math.Inf(1)
+	}
+	ncells := 1 + r.Intn(300)
+	vths := make([]float64, ncells)
+	states := make([]uint8, ncells)
+	for i := range vths {
+		states[i] = uint8(r.Intn(nstates))
+		switch r.Intn(8) {
+		case 0, 1, 2: // bulk: random around a random boundary
+			vths[i] = bases[r.Intn(nv)] + (r.Float64()-0.5)*8
+		case 3: // exactly the decision threshold
+			if noffs > 0 {
+				vths[i] = sweepThreshold(offs[r.Intn(noffs)], bases[r.Intn(nv)])
+			}
+		case 4: // one ulp off the threshold
+			if noffs > 0 {
+				y := sweepThreshold(offs[r.Intn(noffs)], bases[r.Intn(nv)])
+				dir := math.Inf(1)
+				if r.Intn(2) == 0 {
+					dir = math.Inf(-1)
+				}
+				vths[i] = math.Nextafter(y, dir)
+			}
+		case 5: // the naively rounded sum
+			if noffs > 0 {
+				vths[i] = bases[r.Intn(nv)] + offs[r.Intn(noffs)]
+			}
+		case 6:
+			vths[i] = math.Inf(1 - 2*r.Intn(2))
+		case 7:
+			vths[i] = math.NaN()
+		}
+	}
+	crossCheckSweep(t, bases, vths, states, nstates, offs)
+}
+
+func TestSweepMultiMatchesSweepOne(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		sweepTrial(t, seed)
+	}
+}
+
+func FuzzSweepMulti(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sweepTrial(t, seed)
+	})
 }
 
 func TestSweepOptimalBelowDefaultAfterRetention(t *testing.T) {

@@ -1,0 +1,25 @@
+package mathx
+
+// UpperBound returns the number of elements of the ascending slice a that
+// are <= x, i.e. the index of the first element strictly greater than x.
+// It is the branch-light replacement for the
+// sort.SearchFloat64s-plus-equal-advance idiom on the chip simulator's
+// sweep hot path: the loop body compiles to a conditional move, and there
+// is no per-probe closure call.
+//
+// Every comparison with a NaN x is false, so UpperBound(a, NaN) is 0 —
+// callers that need the legacy "NaN sorts above everything" convention of
+// sort.SearchFloat64s must special-case NaN themselves.
+func UpperBound(a []float64, x float64) int {
+	lo, n := 0, len(a)
+	for n > 0 {
+		half := n >> 1
+		if a[lo+half] <= x {
+			lo += half + 1
+			n -= half + 1
+		} else {
+			n = half
+		}
+	}
+	return lo
+}

@@ -1,0 +1,68 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// upperBoundRef is the legacy idiom UpperBound replaces.
+func upperBoundRef(a []float64, x float64) int {
+	ub := sort.SearchFloat64s(a, x)
+	for ub < len(a) && a[ub] <= x {
+		ub++
+	}
+	return ub
+}
+
+func TestUpperBoundMatchesReference(t *testing.T) {
+	f := func(raw []float64, x float64) bool {
+		a := append([]float64(nil), raw...)
+		// Drop NaNs from the slice (it must be ascending) but keep
+		// duplicates and infinities.
+		kept := a[:0]
+		for _, v := range a {
+			if !math.IsNaN(v) {
+				kept = append(kept, v)
+			}
+		}
+		a = kept
+		sort.Float64s(a)
+		if math.IsNaN(x) {
+			// Documented divergence: UpperBound returns 0 for NaN.
+			return UpperBound(a, x) == 0
+		}
+		return UpperBound(a, x) == upperBoundRef(a, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundEdges(t *testing.T) {
+	a := []float64{-2, -1, -1, 0, 0, 0, 3, math.Inf(1)}
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{math.Inf(-1), 0},
+		{-3, 0},
+		{-2, 1},
+		{-1, 3},
+		{-0.5, 3},
+		{0, 6},
+		{2.9, 6},
+		{3, 7},
+		{math.Inf(1), 8},
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := UpperBound(a, c.x); got != c.want {
+			t.Errorf("UpperBound(a, %v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if got := UpperBound(nil, 1); got != 0 {
+		t.Errorf("UpperBound(nil, 1) = %d, want 0", got)
+	}
+}

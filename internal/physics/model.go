@@ -173,6 +173,76 @@ func (m *Model) ReadNoise(readSeed uint64, cell int) float64 {
 	return m.P.ReadNoiseSigma * mathx.GaussFromHash(h)
 }
 
+// NoiseStream is the hash stream of one read operation's sensing noise
+// with the per-read setup hoisted out of the per-cell evaluation:
+// Mix3(readSeed, dsReadNoise, cell) telescopes into one premixed base plus
+// a single finalizer round per cell. At returns exactly ReadNoise's value
+// for every cell.
+type NoiseStream struct {
+	base  uint64
+	sigma float64
+}
+
+// Noise opens the sensing-noise stream of one read operation.
+func (m *Model) Noise(readSeed uint64) NoiseStream {
+	if m.P.ReadNoiseSigma == 0 {
+		return NoiseStream{}
+	}
+	return NoiseStream{base: mathx.Mix(readSeed, dsReadNoise), sigma: m.P.ReadNoiseSigma}
+}
+
+// At returns the sensing noise of one cell; bit-identical to ReadNoise.
+func (ns NoiseStream) At(cell int) float64 {
+	if ns.sigma == 0 {
+		return 0
+	}
+	return ns.sigma * mathx.GaussFromHash(mathx.Mix(ns.base, uint64(cell)))
+}
+
+// FillCellZ writes the frozen program offset of every cell of a wordline
+// program epoch into dst, as float32 (the chip's zcache precision). Each
+// entry is bit-identical to float32(CellZ(globalWL, cell, epoch)); only
+// the per-(wordline, epoch) hash setup is hoisted out of the loop.
+func (m *Model) FillCellZ(globalWL, epoch uint64, dst []float32) {
+	base := mathx.Mix3(m.Seed, dsCellZ, mathx.Mix(globalWL, epoch))
+	tf, tm := m.P.TailFrac, m.P.TailMult
+	for i := range dst {
+		h := mathx.Mix(base, uint64(i))
+		z := mathx.GaussFromHash(h)
+		if tf > 0 && mathx.UniformFromHash(mathx.Hash64(h^dsCellTail)) < tf {
+			z *= tm
+		}
+		dst[i] = float32(z)
+	}
+}
+
+// FillVth writes the threshold voltage of every cell of one read
+// operation into dst (the hash-path analogue of the chip's zcache read).
+// dst[i] is bit-identical to CellVth(env, globalWL, i, len(dst),
+// states[i], epoch, readSeed): the same hash draws, the same
+// floating-point summation order, only the per-read stream setup hoisted
+// out of the loop.
+func (m *Model) FillVth(env WLEnv, globalWL uint64, states []uint8, epoch, readSeed uint64, dst []float64) {
+	zbase := mathx.Mix3(m.Seed, dsCellZ, mathx.Mix(globalWL, epoch))
+	tf, tm := m.P.TailFrac, m.P.TailMult
+	ns := m.Noise(readSeed)
+	nf := float64(len(dst))
+	for i := range dst {
+		s := int(states[i])
+		pos := (float64(i)+0.5)/nf - 0.5
+		var grad float64
+		if s > 0 {
+			grad = env.Gradient * pos
+		}
+		h := mathx.Mix(zbase, uint64(i))
+		z := mathx.GaussFromHash(h)
+		if tf > 0 && mathx.UniformFromHash(mathx.Hash64(h^dsCellTail)) < tf {
+			z *= tm
+		}
+		dst[i] = env.Mean[s] + grad + env.Sigma[s]*z + ns.At(i)
+	}
+}
+
 // readDisturbShift is the upward creep of low states after many reads.
 // Negligible below ~1e6 reads, matching the paper's measurement.
 func (m *Model) readDisturbShift(s int, reads int) float64 {
@@ -200,13 +270,26 @@ type WLEnv struct {
 // Env resolves the wordline environment for a wordline at (layer,
 // globalWL) under stress st.
 func (m *Model) Env(layer int, globalWL uint64, st Stress) WLEnv {
+	var env WLEnv
+	m.EnvInto(&env, layer, globalWL, st)
+	return env
+}
+
+// EnvInto is the allocation-free form of Env: it resolves the wordline
+// environment into env, reusing env's Mean and Sigma slices when they
+// have capacity. The resulting values are identical to Env's.
+func (m *Model) EnvInto(env *WLEnv, layer int, globalWL uint64, st Stress) {
 	k := m.P.States()
-	env := WLEnv{
-		Mean:     make([]float64, k),
-		Sigma:    make([]float64, k),
-		Gradient: m.WLGradient(globalWL),
-		states:   k,
+	if cap(env.Mean) < k {
+		env.Mean = make([]float64, k)
 	}
+	if cap(env.Sigma) < k {
+		env.Sigma = make([]float64, k)
+	}
+	env.Mean = env.Mean[:k]
+	env.Sigma = env.Sigma[:k]
+	env.Gradient = m.WLGradient(globalWL)
+	env.states = k
 	amp := m.ShiftAmplitude(st) * m.LayerShiftMult(layer) * m.WLShiftMult(globalWL)
 	widen := m.SigmaWiden(st) * m.LayerSigmaMult(layer)
 	dT := st.EffectiveReadTemp() - RoomTempC
@@ -217,7 +300,6 @@ func (m *Model) Env(layer int, globalWL uint64, st Stress) WLEnv {
 			m.WLStateOffset(globalWL, s) + shift
 		env.Sigma[s] = m.BaseSigma(s) * widen
 	}
-	return env
 }
 
 // crossTempShift is the cross-temperature Vth movement of state s when

@@ -21,15 +21,33 @@ type Env struct {
 	seed      uint64
 	senseOps  int
 	extraCost float64
+	scratch   []flash.Bitmap
 }
 
 // Sense performs an accounted one-voltage auxiliary read at voltage v with
 // the given offset and returns the sense bitmap (bit set = cell at or
-// above the voltage).
+// above the voltage). The bitmap stays valid until the controller finishes
+// the current read, after which it is recycled — sessions must not retain
+// it across reads.
 func (e *Env) Sense(v int, offset float64) flash.Bitmap {
 	e.senseOps++
 	e.extraCost += e.lat.AuxSense()
-	return e.Chip.Sense(e.B, e.WL, v, offset, mathx.Mix3(e.seed, 0xa5e, uint64(e.senseOps)))
+	return e.hold(e.Chip.Sense(e.B, e.WL, v, offset,
+		mathx.Mix3(e.seed, 0xa5e, uint64(e.senseOps))))
+}
+
+// hold registers a pooled bitmap for bulk release when the read finishes.
+func (e *Env) hold(bm flash.Bitmap) flash.Bitmap {
+	e.scratch = append(e.scratch, bm)
+	return bm
+}
+
+// release recycles every bitmap handed out during the read.
+func (e *Env) release() {
+	for _, bm := range e.scratch {
+		flash.PutBitmap(bm)
+	}
+	e.scratch = nil
 }
 
 // Coding returns the chip's page coding.
@@ -39,6 +57,11 @@ func (e *Env) Coding() *flash.Coding { return e.Chip.Coding() }
 // the attempt number k (0 = first read), the previous attempt's readout
 // bitmap (nil when k = 0), and the offsets that attempt used. It returns
 // the offsets for attempt k, or ok=false to give up.
+//
+// The prior bitmap aliases a controller-owned buffer that is overwritten
+// by the next attempt: it is valid only for the duration of the
+// NextOffsets call. A session that needs the readout later must copy it
+// (see Env.senseFromLSBReadout).
 type Session interface {
 	NextOffsets(k int, prior flash.Bitmap, priorOfs flash.Offsets) (ofs flash.Offsets, ok bool)
 }
@@ -137,7 +160,14 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	coding := c.Chip.Coding()
 	levels := len(coding.PageVoltages(page))
 	userBits := c.Chip.Config().UserCells()
-	truth := c.Chip.TrueBits(b, wl, page)
+	cells := cfg.CellsPerWordline
+	// All per-read buffers are pooled and recycled on exit: the ground
+	// truth, one readout buffer per parity of the attempt number (the
+	// session may inspect the prior attempt while the next one is sensed
+	// into the other buffer), and the error bitmap.
+	truth := c.Chip.TrueBitsInto(flash.GetBitmap(cells), b, wl, page)
+	bufs := [2]flash.Bitmap{flash.GetBitmap(cells), flash.GetBitmap(cells)}
+	errs := flash.GetBitmap(cells)
 
 	var res Result
 	var prior flash.Bitmap
@@ -150,14 +180,15 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 			}
 			break
 		}
-		read := c.Chip.ReadPage(b, wl, page, ofs, mathx.Mix3(readSeed, 0x5ead, uint64(k)))
+		op := c.Chip.BeginRead(b, wl, mathx.Mix3(readSeed, 0x5ead, uint64(k)))
+		read := op.ReadPageInto(bufs[k&1], page, ofs)
+		op.Close()
 		res.Latency += c.Lat.PageRead(levels)
 		res.FinalOffsets = ofs
-		errs := make(flash.Bitmap, len(read))
 		for i := range errs {
 			errs[i] = read[i] ^ truth[i]
 		}
-		res.FinalErrors = countUserErrors(errs, userBits)
+		res.FinalErrors = errs.PopCountRange(0, userBits)
 		if c.ECC.DecodePage(errs, userBits) {
 			res.OK = true
 			res.Retries = k
@@ -175,15 +206,10 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	if fs, ok := sess.(interface{ UsedFallback() bool }); ok {
 		res.UsedFallback = fs.UsedFallback()
 	}
+	flash.PutBitmap(errs)
+	flash.PutBitmap(bufs[1])
+	flash.PutBitmap(bufs[0])
+	flash.PutBitmap(truth)
+	env.release()
 	return res
-}
-
-func countUserErrors(errs flash.Bitmap, userBits int) int {
-	n := 0
-	for i := 0; i < userBits; i++ {
-		if errs.Get(i) {
-			n++
-		}
-	}
-	return n
 }

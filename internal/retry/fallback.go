@@ -96,6 +96,8 @@ func (p *FallbackPolicy) ProbeBlock(chip *flash.Chip, b, wl int) float64 {
 	lo := chip.Sense(b, wl, sv, -span, uint64(b)<<1|1)
 	hi := chip.Sense(b, wl, sv, +span, uint64(b)<<1)
 	frac := eng.StuckFraction(lo, hi)
+	flash.PutBitmap(hi)
+	flash.PutBitmap(lo)
 	p.mu.Lock()
 	if frac > p.Guard.StuckTolerance {
 		p.degraded[b] = true

@@ -247,9 +247,11 @@ type sentinelSession struct {
 
 // senseFromLSBReadout converts an LSB page readout into a sentinel-voltage
 // sense bitmap: the LSB bit is 1 below the boundary, so the sense (at or
-// above) is its inverse.
-func senseFromLSBReadout(read flash.Bitmap) flash.Bitmap {
-	out := make(flash.Bitmap, len(read))
+// above) is its inverse. The copy lives in a pooled buffer that remains
+// valid until the read finishes (same lifetime as Sense results) — which
+// also makes it safe to take of the ephemeral prior bitmap.
+func (e *Env) senseFromLSBReadout(read flash.Bitmap) flash.Bitmap {
+	out := e.hold(flash.GetBitmap(e.Chip.Config().CellsPerWordline))
 	for i, w := range read {
 		out[i] = ^w
 	}
@@ -266,7 +268,7 @@ func (s *sentinelSession) NextOffsets(k int, prior flash.Bitmap, priorOfs flash.
 	case k == 1:
 		// Measure the error difference at the default sentinel voltage.
 		if s.env.Page == flash.PageLSB {
-			s.defaultSense = senseFromLSBReadout(prior)
+			s.defaultSense = s.env.senseFromLSBReadout(prior)
 		} else {
 			s.defaultSense = s.env.Sense(sv, 0)
 		}
@@ -283,7 +285,7 @@ func (s *sentinelSession) NextOffsets(k int, prior flash.Bitmap, priorOfs flash.
 		// its readout is reused for free.
 		var curSense flash.Bitmap
 		if s.env.Page == flash.PageLSB {
-			curSense = senseFromLSBReadout(prior)
+			curSense = s.env.senseFromLSBReadout(prior)
 		} else {
 			curSense = s.env.Sense(sv, s.sentOfs)
 		}

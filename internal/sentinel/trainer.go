@@ -234,6 +234,7 @@ func collect(chip *flash.Chip, tc TrainConfig, cc *charlab.CorrelationCollector)
 				seed := mathx.Mix4(tc.Seed, uint64(pi), uint64(wi), uint64(rep))
 				sense := chip.Sense(0, wl, sv, 0, seed)
 				d += ErrorDiffRate(sense, indices)
+				flash.PutBitmap(sense)
 			}
 			d /= float64(tc.MeasureReads)
 			ds = append(ds, d)

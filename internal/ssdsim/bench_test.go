@@ -1,0 +1,44 @@
+package ssdsim
+
+import (
+	"testing"
+
+	"sentinel3d/internal/ecc"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/retry"
+)
+
+// BenchmarkBuildSampler drives the whole read stack end to end — retry
+// controller, page reads, error counting, ECC decisions — on an aged
+// chip; the per-op cost tracks the fused read kernel's steady-state
+// performance at the system level.
+func BenchmarkBuildSampler(b *testing.B) {
+	cfg := flash.Config{
+		Kind: flash.TLC, Blocks: 1, Layers: 8, WordlinesPerLayer: 2,
+		CellsPerWordline: 8192, OOBFraction: 0.119, Seed: 11, CacheZ: true,
+	}
+	chip := flash.MustNew(cfg)
+	rng := mathx.NewRand(1)
+	for wl := 0; wl < cfg.WordlinesPerBlock(); wl++ {
+		if err := chip.ProgramRandom(0, wl, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	chip.Cycle(0, 5000)
+	chip.Age(0, physics.YearHours, physics.RoomTempC)
+	ctl, err := retry.NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 14},
+		retry.DefaultLatency(), 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := retry.NewDefaultTable(chip, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSampler(ctl, pol, 0, []int{0, 1, 2, 3}, 2, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
