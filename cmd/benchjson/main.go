@@ -17,6 +17,9 @@
 //	  "comparison": {"Sense": {"speedup": ..., "alloc_reduction": ...}}
 //	}
 //
+// Custom b.ReportMetric pairs (e.g. "req/s") are captured per result
+// under "metrics" and compared as "metric_ratios" (current/baseline).
+//
 // A baseline file may be a previous benchjson document (its "baseline"
 // map is preferred, then "current") or a bare name->result map.
 package main
@@ -40,6 +43,9 @@ type Result struct {
 	NsPerOp     float64  `json:"ns_per_op"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric pairs (e.g. "req/s", "MB/s")
+	// keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Comparison relates one benchmark's current run to its baseline.
@@ -51,6 +57,10 @@ type Comparison struct {
 	// baseline allocs/op (the reduction factor toward zero) when the
 	// current run reaches zero allocations.
 	AllocReduction *float64 `json:"alloc_reduction,omitempty"`
+	// MetricRatios maps custom metric units present in both runs to
+	// current/baseline (>1 means the current run's metric is higher, so
+	// for throughput metrics like "req/s" >1 is better).
+	MetricRatios map[string]float64 `json:"metric_ratios,omitempty"`
 }
 
 // Doc is the emitted document.
@@ -67,10 +77,50 @@ type Doc struct {
 
 const schema = "sentinel3d-bench-v1"
 
-// benchLine matches one result row; the -N GOMAXPROCS suffix is folded
-// into the name capture's lazy match.
-var benchLine = regexp.MustCompile(
-	`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// maxprocsSuffix is the -N GOMAXPROCS suffix go test appends to names.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchLine tokenizes one result row as a name, an iteration count
+// and (value, unit) pairs: the fixed units fill Result's typed fields
+// and anything else — b.ReportMetric output such as "req/s" — lands in
+// Metrics. A line without an ns/op pair is not a benchmark result.
+func parseBenchLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := maxprocsSuffix.ReplaceAllString(strings.TrimPrefix(f[0], "Benchmark"), "")
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || name == "" {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	sawNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = &v
+		case "allocs/op":
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[f[i+1]] = v
+		}
+	}
+	if !sawNs {
+		return "", Result{}, false
+	}
+	return name, res, true
+}
 
 func parse(r io.Reader) (*Doc, error) {
 	doc := &Doc{Schema: schema, Current: map[string]Result{}}
@@ -88,22 +138,9 @@ func parse(r io.Reader) (*Doc, error) {
 				*meta.dst = v
 			}
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if name, res, ok := parseBenchLine(line); ok {
+			doc.Current[name] = res // last run of a repeated name wins
 		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		res := Result{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			b, _ := strconv.ParseFloat(m[4], 64)
-			res.BytesPerOp = &b
-		}
-		if m[5] != "" {
-			a, _ := strconv.ParseFloat(m[5], 64)
-			res.AllocsPerOp = &a
-		}
-		doc.Current[m[1]] = res // last run of a repeated name wins
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -152,6 +189,16 @@ func compare(base, cur map[string]Result) map[string]Comparison {
 				red = *b.AllocsPerOp / *c.AllocsPerOp
 			}
 			cmp.AllocReduction = &red
+		}
+		for unit, bv := range b.Metrics {
+			cv, ok := c.Metrics[unit]
+			if !ok || bv == 0 {
+				continue
+			}
+			if cmp.MetricRatios == nil {
+				cmp.MetricRatios = map[string]float64{}
+			}
+			cmp.MetricRatios[unit] = cv / bv
 		}
 		out[name] = cmp
 	}

@@ -11,6 +11,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkSense-8         	     925	   2509989 ns/op	       0 B/op	       0 allocs/op
 BenchmarkReadOpReuse     	    4207	    596256 ns/op	       1 B/op	       0 allocs/op
 BenchmarkNoMem           	     100	     12345.5 ns/op
+BenchmarkReplayShard8-8  	       5	 120000000 ns/op	   1666666 req/s	 9000000 B/op	    1200 allocs/op
 PASS
 ok  	sentinel3d/internal/flash	10.1s
 `
@@ -36,6 +37,15 @@ func TestParse(t *testing.T) {
 	if nm.NsPerOp != 12345.5 || nm.BytesPerOp != nil || nm.AllocsPerOp != nil {
 		t.Fatalf("NoMem = %+v", nm)
 	}
+	if nm.Metrics != nil {
+		t.Fatalf("NoMem grew metrics: %+v", nm)
+	}
+	rs := doc.Current["ReplayShard8"]
+	if rs.Metrics["req/s"] != 1666666 || rs.NsPerOp != 120000000 ||
+		rs.BytesPerOp == nil || *rs.BytesPerOp != 9000000 ||
+		rs.AllocsPerOp == nil || *rs.AllocsPerOp != 1200 {
+		t.Fatalf("ReplayShard8 = %+v", rs)
+	}
 }
 
 func TestParseEmpty(t *testing.T) {
@@ -48,12 +58,12 @@ func TestCompare(t *testing.T) {
 	f := func(v float64) *float64 { return &v }
 	base := map[string]Result{
 		"A": {NsPerOp: 200, AllocsPerOp: f(10)},
-		"B": {NsPerOp: 300, AllocsPerOp: f(6)},
+		"B": {NsPerOp: 300, AllocsPerOp: f(6), Metrics: map[string]float64{"req/s": 500000}},
 		"C": {NsPerOp: 50}, // absent from current
 	}
 	cur := map[string]Result{
 		"A": {NsPerOp: 100, AllocsPerOp: f(0)},
-		"B": {NsPerOp: 150, AllocsPerOp: f(2)},
+		"B": {NsPerOp: 150, AllocsPerOp: f(2), Metrics: map[string]float64{"req/s": 1500000}},
 		"D": {NsPerOp: 1}, // absent from baseline
 	}
 	cmp := compare(base, cur)
@@ -63,7 +73,10 @@ func TestCompare(t *testing.T) {
 	if a := cmp["A"]; a.Speedup != 2 || a.AllocReduction == nil || *a.AllocReduction != 10 {
 		t.Fatalf("A = %+v (zero-alloc current should report baseline allocs)", a)
 	}
-	if b := cmp["B"]; b.Speedup != 2 || *b.AllocReduction != 3 {
+	if b := cmp["B"]; b.Speedup != 2 || *b.AllocReduction != 3 || b.MetricRatios["req/s"] != 3 {
 		t.Fatalf("B = %+v", b)
+	}
+	if a := cmp["A"]; a.MetricRatios != nil {
+		t.Fatalf("A grew metric ratios: %+v", a)
 	}
 }

@@ -7,7 +7,8 @@
 //	reproduce -exp all -scale full    # the whole evaluation, full fidelity
 //
 // Experiment ids: fig2 fig3 fig45 fig6 fig7 fig8 fig10 table1 fig12 fig13
-// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 robust all.
+// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 robust all; plus
+// replay (the trace-replay engine's scaling table, never part of all).
 package main
 
 import (
@@ -31,7 +32,7 @@ func main() {
 		expID    = flag.String("exp", "all", "experiment id (fig2..fig19, table1, ablations, all)")
 		scaleStr = flag.String("scale", "quick", "quick or full")
 		kindStr  = flag.String("kind", "both", "tlc, qlc or both (where applicable)")
-		requests = flag.Int("requests", 6000, "trace requests per workload (fig14)")
+		requests = flag.Int("requests", 6000, "trace requests per workload (fig14, replay)")
 		workers  = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
@@ -133,6 +134,13 @@ func main() {
 	}
 	if want("robust") {
 		run("robust", func() (renderer, error) { return experiments.CorruptionSweep(scale) })
+	}
+	// Engineering measurement, not a paper figure: only on explicit
+	// request (it replays the trace four times to cover the matrix).
+	if *expID == "replay" {
+		run("replay", func() (renderer, error) {
+			return experiments.ReplayThroughput(*requests)
+		})
 	}
 	if want("ablations") {
 		run("ablation/placement", func() (renderer, error) {

@@ -9,6 +9,7 @@
 //	tracesim -trace volume.csv
 //	tracesim -workload all
 //	tracesim -workload hm_0 -fault-stuck 0.08 -fault-pe 0.0005 -fallback
+//	tracesim -workload hm_0 -requests 2000000 -stream -shards 4 -workers 4
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/ssdsim"
@@ -42,8 +44,13 @@ func main() {
 		faultPE     = flag.Float64("fault-pe", 0, "FTL page-program fail rate (block-erase fails at 4x this rate)")
 		faultSeed   = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed")
 		useFallback = flag.Bool("fallback", false, "also sample and replay the sentinel+fallback policy")
+
+		workers = flag.Int("workers", 0, "replay worker goroutines (0 = GOMAXPROCS)")
+		shards  = flag.Int("shards", 1, "device shards replayed concurrently (must divide the channel count)")
+		stream  = flag.Bool("stream", false, "stream the trace through the engine with O(1) histogram latency stats instead of materializing it")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	scale := experiments.Quick()
 	if *full {
@@ -127,24 +134,30 @@ func main() {
 		simCfg.PEFaults = inj
 	}
 
-	var workloads []struct {
+	// Each workload is an Opener so traces can stream: with -stream the
+	// engine pulls straight from the file or generator (memory stays
+	// O(shards)); without it the trace is materialized once, exactly as
+	// before.
+	type workloadEntry struct {
 		name string
-		reqs []trace.Request
+		open trace.Opener
 	}
+	var workloads []workloadEntry
 	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			log.Fatal(err)
+		if *stream {
+			workloads = append(workloads, workloadEntry{*traceFile, trace.FileOpener(*traceFile)})
+		} else {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reqs, err := trace.ParseMSR(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			workloads = append(workloads, workloadEntry{*traceFile, trace.SliceOpener(reqs)})
 		}
-		reqs, err := trace.ParseMSR(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		workloads = append(workloads, struct {
-			name string
-			reqs []trace.Request
-		}{*traceFile, reqs})
 	} else {
 		specs := trace.MSRWorkloads()
 		if *workload != "all" {
@@ -156,14 +169,16 @@ func main() {
 		}
 		for _, spec := range specs {
 			spec.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
-			reqs, err := trace.Generate(spec, *requests, mathx.Mix(7, uint64(len(spec.Name))))
-			if err != nil {
-				log.Fatal(err)
+			seed := mathx.Mix(7, uint64(len(spec.Name)))
+			if *stream {
+				workloads = append(workloads, workloadEntry{spec.Name, trace.GeneratorOpener(spec, *requests, seed)})
+			} else {
+				reqs, err := trace.Generate(spec, *requests, seed)
+				if err != nil {
+					log.Fatal(err)
+				}
+				workloads = append(workloads, workloadEntry{spec.Name, trace.SliceOpener(reqs)})
 			}
-			workloads = append(workloads, struct {
-				name string
-				reqs []trace.Request
-			}{spec.Name, reqs})
 		}
 	}
 
@@ -176,14 +191,16 @@ func main() {
 	var rows [][]string
 	for _, w := range workloads {
 		run := func(s ssdsim.RetrySampler) *ssdsim.Report {
-			sim, err := ssdsim.New(simCfg, s)
+			eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
+				Sim:              simCfg,
+				Shards:           *shards,
+				CollectLatencies: !*stream,
+				Precondition:     true,
+			}, s)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := sim.Precondition(w.reqs); err != nil {
-				log.Fatal(err)
-			}
-			rep, err := sim.Run(w.reqs)
+			rep, err := eng.Replay(w.open)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/ssdsim"
+	"sentinel3d/internal/trace"
+)
+
+// replayDevice is the 8-channel device the throughput measurement
+// shards (up to 8 ways); it matches the ssdsim replay benchmarks.
+func replayDevice() ssdsim.Config {
+	cfg := ssdsim.DefaultConfig()
+	cfg.Geo = ftl.Geometry{
+		Channels: 8, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+	return cfg
+}
+
+// replaySampler is a synthetic retry-outcome distribution so the
+// measurement exercises the sampler RNG path without building a chip.
+func replaySampler() *ssdsim.EmpiricalSampler {
+	return &ssdsim.EmpiricalSampler{PerPage: [][]ssdsim.RetryOutcome{
+		{{Retries: 0}, {Retries: 0}, {Retries: 1}},
+		{{Retries: 0}, {Retries: 1}, {Retries: 2}},
+		{{Retries: 1}, {Retries: 2}, {Retries: 4, AuxSenses: 1}},
+	}}
+}
+
+// ReplayThroughputRow is one engine configuration's measurement.
+type ReplayThroughputRow struct {
+	Shards  int
+	Workers int
+	// Collect marks the exact-percentile mode (every read latency is
+	// retained); the default histogram mode holds O(shards) state.
+	Collect   bool
+	Seconds   float64
+	ReqPerSec float64
+	// AllocMB is the total heap allocated during the replay (alloc
+	// volume, not footprint).
+	AllocMB float64
+	// LiveHeapMB is the heap retained by the run's report after a GC:
+	// in collect mode this includes the full latency vector, in
+	// histogram mode only the fixed-size buckets.
+	LiveHeapMB float64
+}
+
+// ReplayThroughputResult holds the replay-engine scaling measurement.
+type ReplayThroughputResult struct {
+	Requests int
+	Rows     []ReplayThroughputRow
+}
+
+// ReplayThroughput measures the sharded streaming replay engine on a
+// synthetic hm_0-shaped trace of the given length: single-shard
+// baseline, sharded at one worker, sharded at GOMAXPROCS workers, and
+// the exact-percentile (CollectLatencies) mode. All histogram-mode rows
+// replay the same sharded device, and the function fails if their
+// reports differ — the worker count must never change the output.
+func ReplayThroughput(requests int) (*ReplayThroughputResult, error) {
+	cfg := replayDevice()
+	spec, err := trace.WorkloadByName("hm_0")
+	if err != nil {
+		return nil, err
+	}
+	spec.WorkingSetPages = int64(cfg.Geo.PagesTotal()) * 6 / 10
+	open := trace.GeneratorOpener(spec, requests, 7)
+
+	maxW := runtime.GOMAXPROCS(0)
+	matrix := []struct {
+		shards, workers int
+		collect         bool
+	}{
+		{1, 1, false},
+		{8, 1, false},
+		{8, maxW, false},
+		{8, maxW, true},
+	}
+	res := &ReplayThroughputResult{Requests: requests}
+	var histRep *ssdsim.Report
+	for _, m := range matrix {
+		eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
+			Sim: cfg, Shards: m.shards, CollectLatencies: m.collect, Precondition: true,
+		}, replaySampler())
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		prev := parallel.SetWorkers(m.workers)
+		start := time.Now()
+		rep, err := eng.Replay(open)
+		dur := time.Since(start)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			return nil, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		res.Rows = append(res.Rows, ReplayThroughputRow{
+			Shards: m.shards, Workers: m.workers, Collect: m.collect,
+			Seconds:    dur.Seconds(),
+			ReqPerSec:  float64(rep.Requests) / dur.Seconds(),
+			AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
+			LiveHeapMB: float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / (1 << 20),
+		})
+		runtime.KeepAlive(rep)
+		if !m.collect && m.shards == 8 {
+			if histRep == nil {
+				histRep = rep
+			} else if !reflect.DeepEqual(rep, histRep) {
+				return nil, fmt.Errorf("experiments: replay report diverged at %d workers", m.workers)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the scaling table.
+func (r *ReplayThroughputResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mode := "histogram"
+		if row.Collect {
+			mode = "collect"
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(row.Shards), fmt.Sprint(row.Workers), mode,
+			fmt.Sprintf("%.2f", row.Seconds),
+			fmt.Sprintf("%.0f", row.ReqPerSec),
+			fmt.Sprintf("%.1f", row.AllocMB),
+			fmt.Sprintf("%.2f", row.LiveHeapMB),
+		})
+	}
+	return fmt.Sprintf("replay of %d hm_0-shaped requests (8-channel device)\n%s",
+		r.Requests, Table([]string{"shards", "workers", "mode", "sec", "req/s", "alloc MB", "live MB"}, rows))
+}

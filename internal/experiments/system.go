@@ -100,19 +100,19 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		// retry ratio, i.e. negligible queueing); scale the arrival rate
 		// down accordingly.
 		spec.MeanIATUS *= 6
-		reqs, err := trace.Generate(spec, requests, mathx.Mix(0x14c, uint64(len(spec.Name))))
-		if err != nil {
-			return Fig14Row{}, err
-		}
+		// Replay through a single-shard engine with exact latency
+		// collection: identical output to Precondition+Run on a plain
+		// Sim, but the trace streams from the generator twice instead of
+		// being materialized.
+		open := trace.GeneratorOpener(spec, requests, mathx.Mix(0x14c, uint64(len(spec.Name))))
 		run := func(sampler ssdsim.RetrySampler) (*ssdsim.Report, error) {
-			sim, err := ssdsim.New(simCfg, sampler)
+			eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
+				Sim: simCfg, CollectLatencies: true, Precondition: true,
+			}, sampler)
 			if err != nil {
 				return nil, err
 			}
-			if err := sim.Precondition(reqs); err != nil {
-				return nil, err
-			}
-			return sim.Run(reqs)
+			return eng.Replay(open)
 		}
 		base, err := run(baseSampler)
 		if err != nil {

@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// nearestRank returns the q-th quantile of sorted xs under the
+// nearest-rank definition LogHist.Quantile targets.
+func nearestRank(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles asserts the histogram's one-bucket-width contract on
+// every interesting quantile: at least the exact rank statistic, at most
+// one bucket width above it.
+func checkQuantiles(t *testing.T, name string, xs []float64) {
+	t.Helper()
+	var h LogHist
+	for _, v := range xs {
+		h.Add(v)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	f := h.WidthFactor()
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		exact := nearestRank(sorted, q)
+		got := h.Quantile(q)
+		if exact <= 0 {
+			if got != 0 {
+				t.Errorf("%s q=%v: got %v for non-positive rank statistic %v",
+					name, q, got, exact)
+			}
+			continue
+		}
+		if got < exact || got > exact*f {
+			t.Errorf("%s q=%v: got %v outside [%v, %v] (exact %v, factor %v)",
+				name, q, got, exact, exact*f, exact, f)
+		}
+	}
+	// The mean is exact (same accumulation order as a plain sum).
+	if got, want := h.Mean(), Mean(xs); got != want {
+		t.Errorf("%s: mean %v != exact %v", name, got, want)
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Errorf("%s: min/max %v/%v want %v/%v",
+			name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	if h.Count() != int64(len(xs)) {
+		t.Errorf("%s: count %d, want %d", name, h.Count(), len(xs))
+	}
+}
+
+func TestLogHistAdversarialDistributions(t *testing.T) {
+	r := NewRand(7)
+	n := 50000
+
+	constant := make([]float64, n)
+	for i := range constant {
+		constant[i] = 137.5
+	}
+	checkQuantiles(t, "constant", constant)
+
+	// Bimodal with a 6-decade gap placed right at the p95 boundary: the
+	// quantile must snap to one of the modes, never into the gap.
+	bimodal := make([]float64, n)
+	for i := range bimodal {
+		if i < n*95/100 {
+			bimodal[i] = 80 + r.Float64()
+		} else {
+			bimodal[i] = 8e7 + r.Float64()
+		}
+	}
+	checkQuantiles(t, "bimodal", bimodal)
+
+	heavyTail := make([]float64, n)
+	for i := range heavyTail {
+		heavyTail[i] = math.Exp(r.NormFloat64()*2 + 5)
+	}
+	checkQuantiles(t, "lognormal", heavyTail)
+
+	exponential := make([]float64, n)
+	for i := range exponential {
+		exponential[i] = -math.Log(1-r.Float64()) * 250
+	}
+	checkQuantiles(t, "exponential", exponential)
+
+	// Zeros mixed in (unmapped reads can be arbitrarily cheap).
+	withZeros := make([]float64, n)
+	for i := range withZeros {
+		if i%3 == 0 {
+			withZeros[i] = 0
+		} else {
+			withZeros[i] = 5 + r.Float64()*100
+		}
+	}
+	checkQuantiles(t, "with-zeros", withZeros)
+
+	// Discrete latency ladder (retry multiples of a base cost), the shape
+	// real replay latencies take.
+	ladder := make([]float64, n)
+	for i := range ladder {
+		ladder[i] = 65 * float64(1+r.Intn(16))
+	}
+	checkQuantiles(t, "ladder", ladder)
+
+	checkQuantiles(t, "single", []float64{42})
+	checkQuantiles(t, "two", []float64{1e-6, 1e6})
+}
+
+// TestLogHistVsPercentile ties the histogram to the repo's exact-sort
+// percentile path on a smooth distribution: with dense samples the
+// interpolated percentile sits between adjacent order statistics, so the
+// histogram must land within one bucket width of it.
+func TestLogHistVsPercentile(t *testing.T) {
+	r := NewRand(3)
+	xs := make([]float64, 80000)
+	var h LogHist
+	for i := range xs {
+		xs[i] = math.Exp(r.NormFloat64() + 4)
+		h.Add(xs[i])
+	}
+	f := h.WidthFactor()
+	for _, p := range []float64{50, 95, 99} {
+		exact := Percentile(xs, p)
+		got := h.Percentile(p)
+		if got < exact/f || got > exact*f*f {
+			t.Errorf("p%v: hist %v vs exact %v outside one-bucket tolerance", p, got, exact)
+		}
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	r := NewRand(11)
+	xs := make([]float64, 40000)
+	for i := range xs {
+		xs[i] = math.Exp(r.NormFloat64() * 3)
+	}
+	var whole LogHist
+	parts := make([]LogHist, 4)
+	for i, v := range xs {
+		whole.Add(v)
+		parts[i%4].Add(v)
+	}
+	var merged LogHist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v != whole %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-9*math.Abs(whole.Sum()) {
+		t.Fatalf("sum %v != %v", merged.Sum(), whole.Sum())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatal("min/max not preserved by merge")
+	}
+	// Merging the same parts in the same order twice is bit-identical
+	// (the engine's determinism across worker counts relies on this).
+	var again LogHist
+	for i := range parts {
+		again.Merge(&parts[i])
+	}
+	if again.Sum() != merged.Sum() || again.Mean() != merged.Mean() {
+		t.Fatal("shard-order merge not deterministic")
+	}
+	// Merging into an occupied histogram from an empty one is a no-op.
+	before := merged.Quantile(0.5)
+	merged.Merge(&LogHist{})
+	if merged.Quantile(0.5) != before {
+		t.Fatal("empty merge changed state")
+	}
+}
+
+func TestLogHistEmptyAndEdge(t *testing.T) {
+	var h LogHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	// Samples beyond the binned exponent range clamp into edge buckets:
+	// quantiles degrade to the observed extremes but never crash.
+	h.Add(1e300)
+	h.Add(1e-300)
+	if got := h.Quantile(1); got != 1e300 {
+		t.Fatalf("clamped top quantile %v", got)
+	}
+	if got := h.Quantile(0.1); got <= 0 || got > 1e300 {
+		t.Fatalf("clamped bottom quantile %v", got)
+	}
+}

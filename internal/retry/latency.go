@@ -28,6 +28,12 @@ type LatencyModel struct {
 	Transfer float64
 	// ECCDecode is the decode time per page.
 	ECCDecode float64
+	// MapLookup is the controller-side cost of resolving a logical page
+	// against the mapping table without touching flash. It is the full
+	// service time of a read that hits a never-written LPN (the device
+	// returns zeros straight from the FTL), so it involves no die or
+	// channel occupancy.
+	MapLookup float64
 }
 
 // DefaultLatency mirrors 3D TLC/QLC datasheet-class timings: an LSB read
@@ -38,12 +44,14 @@ func DefaultLatency() LatencyModel {
 		SensePerLevel: 12,
 		Transfer:      20,
 		ECCDecode:     8,
+		MapLookup:     5,
 	}
 }
 
 // Validate reports parameter errors.
 func (l LatencyModel) Validate() error {
-	if l.SenseBase <= 0 || l.SensePerLevel < 0 || l.Transfer < 0 || l.ECCDecode < 0 {
+	if l.SenseBase <= 0 || l.SensePerLevel < 0 || l.Transfer < 0 || l.ECCDecode < 0 ||
+		l.MapLookup < 0 {
 		return fmt.Errorf("retry: invalid latency model %+v", l)
 	}
 	return nil

@@ -95,6 +95,14 @@ func TestLatencyModel(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Fatal("accepted zero latency model")
 	}
+	bad = DefaultLatency()
+	bad.MapLookup = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted negative mapping-lookup cost")
+	}
+	if DefaultLatency().MapLookup <= 0 {
+		t.Fatal("default mapping lookup must cost something")
+	}
 }
 
 func TestDefaultTableEntries(t *testing.T) {

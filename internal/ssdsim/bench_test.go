@@ -5,9 +5,11 @@ import (
 
 	"sentinel3d/internal/ecc"
 	"sentinel3d/internal/flash"
+	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
+	"sentinel3d/internal/trace"
 )
 
 // BenchmarkBuildSampler drives the whole read stack end to end — retry
@@ -38,6 +40,120 @@ func BenchmarkBuildSampler(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := BuildSampler(ctl, pol, 0, []int{0, 1, 2, 3}, 2, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGeometry is an 8-channel device so the replay benchmarks can
+// shard up to 8 ways; it matches the tracesim/Fig14 device scaled 2x in
+// channel count.
+func benchGeometry() ftl.Geometry {
+	return ftl.Geometry{
+		Channels: 8, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+}
+
+// benchSampler is a synthetic retry-outcome distribution (built once,
+// shared read-only) so the replay benchmarks exercise the sampler RNG
+// path without the cost of measuring a chip.
+func benchSampler() *EmpiricalSampler {
+	return &EmpiricalSampler{PerPage: [][]RetryOutcome{
+		{{Retries: 0}, {Retries: 0}, {Retries: 1}},
+		{{Retries: 0}, {Retries: 1}, {Retries: 2}},
+		{{Retries: 1}, {Retries: 2}, {Retries: 4, AuxSenses: 1}},
+	}}
+}
+
+func benchSpec(geo ftl.Geometry) trace.WorkloadSpec {
+	spec, _ := trace.WorkloadByName("hm_0")
+	spec.WorkingSetPages = int64(geo.PagesTotal()) * 6 / 10
+	return spec
+}
+
+const benchRequests = 200_000
+
+// BenchmarkReplaySequential is the legacy single-instance replay path:
+// materialize the whole trace, precondition, then run the strictly
+// sequential loop with full latency collection and an end-of-run sort.
+func BenchmarkReplaySequential(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Geo = benchGeometry()
+	spec := benchSpec(cfg.Geo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs, err := trace.Generate(spec, benchRequests, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := New(cfg, benchSampler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Precondition(reqs); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sim.Run(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Requests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}
+
+// benchReplayShards measures the streaming engine end to end (two
+// passes over the generator: precondition + replay) in the default
+// histogram mode.
+func benchReplayShards(b *testing.B, shards int) {
+	cfg := DefaultConfig()
+	cfg.Geo = benchGeometry()
+	spec := benchSpec(cfg.Geo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: shards, Precondition: true,
+		}, benchSampler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := eng.Replay(trace.GeneratorOpener(spec, benchRequests, 7))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Requests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}
+
+// BenchmarkReplayShard1 is the engine's single-shard streaming path —
+// the like-for-like successor of BenchmarkReplaySequential.
+func BenchmarkReplayShard1(b *testing.B) { benchReplayShards(b, 1) }
+
+// BenchmarkReplayShard8 shards the 8-channel device fully; with N CPUs
+// the shards replay on min(8, N) workers.
+func BenchmarkReplayShard8(b *testing.B) { benchReplayShards(b, 8) }
+
+// BenchmarkPrecondition measures the LPN-dedup warm-up pass on its own:
+// it dominates set-up time for large traces and its allocation count is
+// the target of the sorted-slice dedup.
+func BenchmarkPrecondition(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Geo = benchGeometry()
+	spec := benchSpec(cfg.Geo)
+	reqs, err := trace.Generate(spec, benchRequests, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(cfg, benchSampler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Precondition(reqs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,301 @@
+package ssdsim
+
+import (
+	"fmt"
+	"io"
+
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/trace"
+)
+
+// ReplayConfig parameterizes the sharded streaming replay engine.
+type ReplayConfig struct {
+	// Sim is the full-device configuration; the engine splits it into
+	// per-shard sub-devices.
+	Sim Config
+	// Shards is the number of independent sub-devices (default 1). It
+	// must divide Sim.Geo.Channels: each shard owns a disjoint set of
+	// channels (and the chips, dies and planes behind them) plus its own
+	// FTL partition, so shards share no mutable state and replay
+	// concurrently.
+	Shards int
+	// ChunkRequests is the demux granularity of the streaming replay
+	// (default 32768). Peak memory holds a small constant number of
+	// chunks regardless of trace length.
+	ChunkRequests int
+	// CollectLatencies switches the report from the O(1)-memory
+	// log-bucketed histogram (the default) to appending every read
+	// latency, reproducing Sim.Run's exact-percentile output.
+	CollectLatencies bool
+	// Precondition makes a first pass over the trace that warms each
+	// shard's FTL exactly like Sim.Precondition before the replay pass.
+	Precondition bool
+}
+
+// defaultChunkRequests holds ~1 MiB of requests per in-flight chunk.
+const defaultChunkRequests = 1 << 15
+
+// Engine replays traces against a sharded SSD simulation. Requests are
+// routed to shards by LPN (shard = first LPN mod Shards), every shard
+// services its sub-stream on its own Sim, and the per-shard reports
+// merge in shard order — so the output is byte-identical at any worker
+// count, and a 1-shard engine reproduces Sim.Run exactly.
+//
+// An Engine is immutable configuration; each Replay call builds fresh
+// shard state, so one Engine can replay many traces.
+type Engine struct {
+	cfg     ReplayConfig
+	sampler RetrySampler
+}
+
+// NewEngine validates the configuration. Shards and ChunkRequests
+// default to 1 and defaultChunkRequests when zero.
+func NewEngine(cfg ReplayConfig, sampler RetrySampler) (*Engine, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("ssdsim: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Sim.Geo.Channels%cfg.Shards != 0 {
+		return nil, fmt.Errorf("ssdsim: %d shards do not divide %d channels",
+			cfg.Shards, cfg.Sim.Geo.Channels)
+	}
+	if cfg.ChunkRequests == 0 {
+		cfg.ChunkRequests = defaultChunkRequests
+	}
+	if cfg.ChunkRequests < 0 {
+		return nil, fmt.Errorf("ssdsim: negative chunk size %d", cfg.ChunkRequests)
+	}
+	sub := cfg.shardConfig(0)
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkSampler(sub, sampler); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, sampler: sampler}, nil
+}
+
+// shardConfig derives shard s's sub-device configuration: 1/Shards of
+// the channels, and an RNG stream split from the seed with the same
+// Mix-based scheme the experiment engine uses for its fan-out. A
+// single-shard engine keeps the seed untouched so it reproduces Sim.Run
+// bit for bit.
+func (c ReplayConfig) shardConfig(s int) Config {
+	sub := c.Sim
+	sub.Geo.Channels = c.Sim.Geo.Channels / c.Shards
+	if c.Shards > 1 {
+		sub.Seed = mathx.Mix3(c.Sim.Seed, uint64(s), uint64(c.Shards))
+	}
+	return sub
+}
+
+// shardGranule is the LPN-range interleaving unit (64 pages = 256 KiB):
+// shards own round-robin granules of the logical space rather than
+// single pages, so a multi-page request almost always falls inside one
+// shard's range (mean spans are a few pages) and each shard's footprint
+// stays ~1/Shards of the trace's. Per-page interleaving would put every
+// spanned page in several shards' footprints and inflate per-shard
+// space usage several-fold.
+const shardGranule = 64
+
+// shardOf routes a request by its first LPN's granule. The fine
+// interleaving balances shards even on traces whose footprint is a few
+// hot ranges; negative LPNs (malformed traces) route to shard 0, which
+// services them exactly like the unsharded Sim would.
+func (e *Engine) shardOf(lpn int64) int {
+	s := (lpn / shardGranule) % int64(e.cfg.Shards)
+	if s < 0 {
+		return 0
+	}
+	return int(s)
+}
+
+// Replay streams the trace through the shards and returns the merged
+// report. The opener is invoked once per pass (twice with
+// Precondition), so it must yield identical streams on every call; a
+// returned source that implements io.Closer is closed when its pass
+// ends.
+func (e *Engine) Replay(open trace.Opener) (*Report, error) {
+	if open == nil {
+		return nil, fmt.Errorf("ssdsim: nil trace opener")
+	}
+	sims := make([]*Sim, e.cfg.Shards)
+	for s := range sims {
+		sim, err := New(e.cfg.shardConfig(s), e.sampler)
+		if err != nil {
+			return nil, err
+		}
+		sims[s] = sim
+	}
+	reps := make([]*Report, len(sims))
+	for s := range reps {
+		reps[s] = e.newReport()
+	}
+	if e.cfg.Precondition {
+		if err := e.preconditionPass(sims, open); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.replayPass(sims, reps, open); err != nil {
+		return nil, err
+	}
+	out := e.newReport()
+	for s := range sims {
+		sims[s].flushCounters(reps[s])
+		out.merge(reps[s])
+	}
+	out.finalize()
+	return out, nil
+}
+
+func (e *Engine) newReport() *Report {
+	r := &Report{collect: e.cfg.CollectLatencies}
+	if !e.cfg.CollectLatencies {
+		r.hist = &mathx.LogHist{}
+	}
+	return r
+}
+
+// preconditionPass streams the trace once, deduplicating each shard's
+// LPNs, then warms the shard FTLs concurrently. Per shard the write
+// order is ascending unique — the same order Sim.Precondition uses —
+// so a 1-shard pass is identical to it.
+func (e *Engine) preconditionPass(sims []*Sim, open trace.Opener) error {
+	src, err := open()
+	if err != nil {
+		return err
+	}
+	defer closeSource(src)
+	deds := make([]lpnDedup, len(sims))
+	for {
+		r, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		d := &deds[e.shardOf(r.LPN)]
+		for p := 0; p < r.Pages; p++ {
+			d.add(r.LPN + int64(p))
+		}
+	}
+	if err := parallel.ForEachErr(len(sims), func(s int) error {
+		deds[s].compact()
+		for _, lpn := range deds[s].sorted {
+			if _, err := sims[s].ftl.Write(lpn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return closeSource(src)
+}
+
+// chunkMsg carries one demuxed chunk from the producer goroutine to the
+// replay loop: perShard[s] holds shard s's requests in stream order.
+// err reports a trace failure discovered while filling the chunk.
+type chunkMsg struct {
+	perShard [][]trace.Request
+	err      error
+}
+
+// replayPass pipelines trace decoding with replay: a producer goroutine
+// reads the source and partitions requests into per-shard slices chunk
+// by chunk, while the caller's goroutine replays each finished chunk
+// across the shards through the worker pool. At most three chunks are
+// in flight (one being filled, one queued, one replaying), so memory
+// stays O(Shards + ChunkRequests) however long the trace is.
+//
+// Determinism: the demux depends only on the stream, each shard's
+// requests are serviced in stream order on that shard's Sim, and chunks
+// are replayed sequentially — the worker count only changes which
+// goroutine runs a given (chunk, shard) pair, never any state it sees.
+func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) error {
+	src, err := open()
+	if err != nil {
+		return err
+	}
+	defer closeSource(src)
+
+	nShards := len(sims)
+	chunks := make(chan chunkMsg, 1)
+	recycle := make(chan [][]trace.Request, 2)
+	done := make(chan struct{})
+	defer close(done) // releases a producer blocked on send if we bail early
+
+	go func() {
+		defer close(chunks)
+		for {
+			var per [][]trace.Request
+			select {
+			case per = <-recycle:
+				for s := range per {
+					per[s] = per[s][:0]
+				}
+			default:
+				per = make([][]trace.Request, nShards)
+			}
+			n := 0
+			var perr error
+			for n < e.cfg.ChunkRequests {
+				r, ok, err := src.Next()
+				if err != nil {
+					perr = err
+					break
+				}
+				if !ok {
+					break
+				}
+				s := e.shardOf(r.LPN)
+				per[s] = append(per[s], r)
+				n++
+			}
+			if n == 0 && perr == nil {
+				return // clean end of trace
+			}
+			select {
+			case chunks <- chunkMsg{perShard: per, err: perr}:
+			case <-done:
+				return
+			}
+			if perr != nil {
+				return
+			}
+		}
+	}()
+
+	for msg := range chunks {
+		if msg.err != nil {
+			return msg.err
+		}
+		if err := parallel.ForEachErr(nShards, func(s int) error {
+			if len(msg.perShard[s]) == 0 {
+				return nil
+			}
+			return sims[s].replay(trace.Sliced(msg.perShard[s]), reps[s])
+		}); err != nil {
+			return err
+		}
+		select {
+		case recycle <- msg.perShard:
+		default:
+		}
+	}
+	return closeSource(src)
+}
+
+// closeSource closes a source that owns a resource (e.g. an MSR file).
+// The built-in closers are idempotent, so the engine's belt-and-braces
+// deferred close is safe.
+func closeSource(src trace.Source) error {
+	if c, ok := src.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package ssdsim
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"testing"
+
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/trace"
+)
+
+// engineGeometry is a 4-channel device so the engine tests can shard
+// 1/2/4 ways while staying small enough to replay in milliseconds.
+func engineGeometry() ftl.Geometry {
+	return ftl.Geometry{
+		Channels: 4, ChipsPerChan: 1, DiesPerChip: 1, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 96,
+	}
+}
+
+func engineConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Geo = engineGeometry()
+	cfg.Seed = 11
+	return cfg
+}
+
+// engineTrace returns a mixed read/write trace that fits the test
+// geometry (with room for every shard's partition).
+func engineTrace(t testing.TB, n int) []trace.Request {
+	t.Helper()
+	spec, err := trace.WorkloadByName("hm_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.WorkingSetPages = 8000
+	reqs, err := trace.Generate(spec, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+// TestEngineGoldenSingleShard: a 1-shard engine with CollectLatencies
+// must reproduce Precondition+Run on a plain Sim field for field,
+// including the exact latency vector and percentiles.
+func TestEngineGoldenSingleShard(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 5000)
+
+	sim, err := New(cfg, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 1, CollectLatencies: true, Precondition: true,
+	}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Replay(trace.SliceOpener(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-shard engine diverged from Sim.Run:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Reads == 0 || got.Writes == 0 {
+		t.Fatalf("degenerate trace: %d reads, %d writes", got.Reads, got.Writes)
+	}
+}
+
+// TestEngineWorkerDeterminism: the merged report must be identical at
+// every worker count and at any chunk size, in both latency modes.
+func TestEngineWorkerDeterminism(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 20000)
+
+	for _, collect := range []bool{false, true} {
+		var base *Report
+		for _, run := range []struct {
+			workers, chunk int
+		}{
+			{1, 0}, {4, 0}, {8, 0}, {4, 7}, // chunk 7 forces many partial chunks
+		} {
+			eng, err := NewEngine(ReplayConfig{
+				Sim: cfg, Shards: 4, ChunkRequests: run.chunk,
+				CollectLatencies: collect, Precondition: true,
+			}, benchSampler())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := parallel.SetWorkers(run.workers)
+			rep, err := eng.Replay(trace.SliceOpener(reqs))
+			parallel.SetWorkers(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				base = rep
+				continue
+			}
+			if !reflect.DeepEqual(rep, base) {
+				t.Fatalf("collect=%v workers=%d chunk=%d: report diverged:\n got %+v\nwant %+v",
+					collect, run.workers, run.chunk, rep, base)
+			}
+		}
+		if base.Requests != len(reqs) {
+			t.Fatalf("collect=%v: %d requests serviced, want %d", collect, base.Requests, len(reqs))
+		}
+	}
+}
+
+// TestEngineMillionRequestDeterminism is the scale acceptance check: a
+// 1M-request streamed trace over the fully-sharded 8-channel device
+// must produce byte-identical reports at every worker count, without
+// ever materializing the trace. Skipped under -short.
+func TestEngineMillionRequestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays 1M requests four times")
+	}
+	cfg := DefaultConfig()
+	cfg.Geo = benchGeometry()
+	spec := benchSpec(cfg.Geo)
+	const n = 1_000_000
+	var base *Report
+	for _, w := range []int{1, 2, 4, 8} {
+		eng, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 8, Precondition: true}, benchSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := parallel.SetWorkers(w)
+		rep, err := eng.Replay(trace.GeneratorOpener(spec, n, 7))
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+			if rep.Requests != n {
+				t.Fatalf("%d requests serviced, want %d", rep.Requests, n)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(rep, base) {
+			t.Fatalf("report diverged at %d workers:\n got %+v\nwant %+v", w, rep, base)
+		}
+	}
+}
+
+// TestEngineHistogramMode: the default (histogram) mode must keep the
+// mean essentially exact, land p95/p99 within one bucket width of the
+// nearest-rank order statistic, and hold no per-request state.
+func TestEngineHistogramMode(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 20000)
+	run := func(collect bool) *Report {
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: 2, CollectLatencies: collect, Precondition: true,
+		}, benchSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Replay(trace.SliceOpener(reqs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	exact, hist := run(true), run(false)
+
+	if hist.ReadLatencies != nil {
+		t.Fatalf("histogram mode retained %d latencies", len(hist.ReadLatencies))
+	}
+	if len(exact.ReadLatencies) != exact.Reads || hist.Reads != exact.Reads ||
+		hist.Requests != exact.Requests || hist.Writes != exact.Writes {
+		t.Fatalf("count mismatch: hist %+v vs exact %+v", hist, exact)
+	}
+	if relDiff(hist.MeanReadUS, exact.MeanReadUS) > 1e-9 {
+		t.Fatalf("mean %v, want %v", hist.MeanReadUS, exact.MeanReadUS)
+	}
+	if hist.MeanWriteUS != exact.MeanWriteUS {
+		t.Fatalf("write mean %v, want %v", hist.MeanWriteUS, exact.MeanWriteUS)
+	}
+	// Histogram quantiles: within [stat, stat*WidthFactor] of the
+	// nearest-rank order statistic.
+	sorted := slices.Clone(exact.ReadLatencies)
+	slices.Sort(sorted)
+	wf := hist.hist.WidthFactor()
+	for _, c := range []struct {
+		p    float64
+		got  float64
+		name string
+	}{{95, hist.P95ReadUS, "p95"}, {99, hist.P99ReadUS, "p99"}} {
+		rank := int(math.Ceil(c.p / 100 * float64(len(sorted))))
+		stat := sorted[rank-1]
+		if c.got < stat || c.got > stat*wf {
+			t.Errorf("%s = %v outside [%v, %v]", c.name, c.got, stat, stat*wf)
+		}
+	}
+}
+
+// TestEngineStreamedSources: replaying from a streaming generator or an
+// MSR file must match replaying the materialized slice of the same
+// trace — the opener is consulted twice (precondition + replay) and the
+// engine closes file-backed sources.
+func TestEngineStreamedSources(t *testing.T) {
+	cfg := engineConfig()
+	newEngine := func() *Engine {
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: 2, CollectLatencies: true, Precondition: true,
+		}, benchSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	spec, err := trace.WorkloadByName("hm_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.WorkingSetPages = 8000
+	reqs, err := trace.Generate(spec, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := newEngine().Replay(trace.SliceOpener(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newEngine().Replay(trace.GeneratorOpener(spec, 5000, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("generator stream diverged from slice:\n got %+v\nwant %+v", got, want)
+	}
+
+	// MSR file with monotone timestamps, so file order == sorted order.
+	csv := "128166372003061629,hm,0,Read,8192,8192,100\n" +
+		"128166372003061639,hm,0,Write,40960,4096,100\n" +
+		"128166372003061659,hm,0,Read,4096,16384,100\n" +
+		"128166372003061679,hm,0,Read,8192,4096,100\n"
+	path := filepath.Join(t.TempDir(), "hm.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.OpenMSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err = newEngine().Replay(trace.SliceOpener(parsed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = newEngine().Replay(trace.FileOpener(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MSR stream diverged from slice:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEngineErrors: configuration and trace failures surface as errors.
+func TestEngineErrors(t *testing.T) {
+	cfg := engineConfig()
+	if _, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 3}, benchSampler()); err == nil {
+		t.Error("accepted 3 shards over 4 channels")
+	}
+	if _, err := NewEngine(ReplayConfig{Sim: cfg, Shards: -2}, benchSampler()); err == nil {
+		t.Error("accepted negative shard count")
+	}
+	if _, err := NewEngine(ReplayConfig{Sim: cfg, ChunkRequests: -1}, benchSampler()); err == nil {
+		t.Error("accepted negative chunk size")
+	}
+	if _, err := NewEngine(ReplayConfig{Sim: cfg}, nil); err == nil {
+		t.Error("accepted nil sampler")
+	}
+
+	eng, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 2, Precondition: true}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Replay(nil); err == nil {
+		t.Error("accepted nil opener")
+	}
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	bad := "128166372003061629,hm,0,Read,8192,8192,100\nnot,a,valid,line,x,y\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Replay(trace.FileOpener(path)); err == nil {
+		t.Error("bad MSR line did not fail the replay")
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d / m
+}

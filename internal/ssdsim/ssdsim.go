@@ -12,7 +12,7 @@ package ssdsim
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
@@ -207,10 +207,16 @@ func levelsOf(pageType int) int { return 1 << pageType }
 
 // Report aggregates a run's results.
 type Report struct {
-	Requests      int
-	Reads         int
-	Writes        int
-	ReadLatencies []float64 // per read request, µs
+	Requests int
+	Reads    int
+	Writes   int
+	// ReadLatencies holds every read request's latency in replay order,
+	// µs. Sim.Run (and the engine with CollectLatencies) fills it and
+	// derives exact percentiles from it; in the engine's default
+	// histogram mode it is nil and the percentiles are bucket-resolution
+	// (see mathx.LogHist), keeping memory O(shards) in the request
+	// count.
+	ReadLatencies []float64
 	MeanReadUS    float64
 	P95ReadUS     float64
 	P99ReadUS     float64
@@ -227,16 +233,69 @@ type Report struct {
 	// RetiredBlocks counts blocks the FTL took out of service after
 	// program/erase failures during the run (including preconditioning).
 	RetiredBlocks int64
+	// UnmappedReads counts page-level reads of never-written LPNs,
+	// serviced from the mapping table at LatencyModel.MapLookup cost
+	// without touching flash.
+	UnmappedReads int64
+
+	// Accumulator state. collect appends read latencies for the exact
+	// percentile path; hist records them into the log-bucketed histogram
+	// instead. Exactly one is active per run.
+	collect  bool
+	hist     *mathx.LogHist
+	writeSum float64
 }
 
-func (r *Report) finalize(writeSum float64) {
-	if len(r.ReadLatencies) > 0 {
+// recordRead accounts one completed read request.
+func (r *Report) recordRead(lat float64) {
+	r.Reads++
+	if r.collect {
+		r.ReadLatencies = append(r.ReadLatencies, lat)
+	}
+	if r.hist != nil {
+		r.hist.Add(lat)
+	}
+}
+
+// recordWrite accounts one completed write request.
+func (r *Report) recordWrite(lat float64) {
+	r.Writes++
+	r.writeSum += lat
+}
+
+// merge folds a shard's report into r. The engine calls it in shard
+// order, which keeps every floating-point accumulation — and therefore
+// the merged statistics — identical at any worker count.
+func (r *Report) merge(o *Report) {
+	r.Requests += o.Requests
+	r.Reads += o.Reads
+	r.Writes += o.Writes
+	r.ReadLatencies = append(r.ReadLatencies, o.ReadLatencies...)
+	r.writeSum += o.writeSum
+	if r.hist != nil && o.hist != nil {
+		r.hist.Merge(o.hist)
+	}
+	r.TotalRetries += o.TotalRetries
+	r.GCWrites += o.GCWrites
+	r.UncorrectableReads += o.UncorrectableReads
+	r.FallbackReads += o.FallbackReads
+	r.RetiredBlocks += o.RetiredBlocks
+	r.UnmappedReads += o.UnmappedReads
+}
+
+func (r *Report) finalize() {
+	switch {
+	case len(r.ReadLatencies) > 0:
 		r.MeanReadUS = mathx.Mean(r.ReadLatencies)
 		r.P95ReadUS = mathx.Percentile(r.ReadLatencies, 95)
 		r.P99ReadUS = mathx.Percentile(r.ReadLatencies, 99)
+	case r.hist != nil && r.hist.Count() > 0:
+		r.MeanReadUS = r.hist.Mean()
+		r.P95ReadUS = r.hist.Percentile(95)
+		r.P99ReadUS = r.hist.Percentile(99)
 	}
 	if r.Writes > 0 {
-		r.MeanWriteUS = writeSum / float64(r.Writes)
+		r.MeanWriteUS = r.writeSum / float64(r.Writes)
 	}
 }
 
@@ -251,17 +310,26 @@ type Sim struct {
 	chanFree []float64
 }
 
+// checkSampler verifies the sampler exists and matches the config's
+// bits-per-cell setting.
+func checkSampler(cfg Config, sampler RetrySampler) error {
+	if sampler == nil {
+		return fmt.Errorf("ssdsim: nil sampler")
+	}
+	if es, ok := sampler.(*EmpiricalSampler); ok && es.PageTypes() != cfg.Bits {
+		return fmt.Errorf("ssdsim: sampler covers %d page types, config has %d bits",
+			es.PageTypes(), cfg.Bits)
+	}
+	return nil
+}
+
 // New builds a simulator.
 func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if sampler == nil {
-		return nil, fmt.Errorf("ssdsim: nil sampler")
-	}
-	if es, ok := sampler.(*EmpiricalSampler); ok && es.PageTypes() != cfg.Bits {
-		return nil, fmt.Errorf("ssdsim: sampler covers %d page types, config has %d bits",
-			es.PageTypes(), cfg.Bits)
+	if err := checkSampler(cfg, sampler); err != nil {
+		return nil, err
 	}
 	f, err := ftl.New(cfg.Geo)
 	if err != nil {
@@ -278,25 +346,66 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 	}, nil
 }
 
+// lpnDedup accumulates LPNs and yields them sorted and unique while
+// keeping memory bounded by the unique count (plus one batch), not the
+// trace length: batches are sorted and folded into the deduplicated
+// slice whenever they fill. Compared with the map[int64]bool dedup it
+// replaces, it allocates a handful of slices instead of one map cell
+// per LPN and visits memory sequentially.
+type lpnDedup struct {
+	sorted []int64 // ascending, unique
+	batch  []int64
+}
+
+// lpnDedupBatch bounds the unsorted batch; 1<<18 int64s is 2 MiB.
+const lpnDedupBatch = 1 << 18
+
+func (d *lpnDedup) add(lpn int64) {
+	if d.batch == nil {
+		d.batch = make([]int64, 0, lpnDedupBatch)
+	}
+	d.batch = append(d.batch, lpn)
+	if len(d.batch) >= lpnDedupBatch {
+		d.compact()
+	}
+}
+
+// compact folds the batch into the sorted slice.
+func (d *lpnDedup) compact() {
+	if len(d.batch) == 0 {
+		return
+	}
+	d.sorted = append(d.sorted, d.batch...)
+	d.batch = d.batch[:0]
+	slices.Sort(d.sorted)
+	d.sorted = slices.Compact(d.sorted)
+}
+
 // Precondition maps every LPN a trace will read, so reads hit valid data
 // (SSDSim warms the device the same way). It costs no simulated time.
 func (s *Sim) Precondition(reqs []trace.Request) error {
-	seen := make(map[int64]bool)
-	for _, r := range reqs {
+	return s.PreconditionSource(trace.Sliced(reqs))
+}
+
+// PreconditionSource is Precondition over a streamed trace: it writes
+// the trace's LPNs in ascending unique order (the same order the
+// map-based dedup produced) without materializing the request stream.
+func (s *Sim) PreconditionSource(src trace.Source) error {
+	var d lpnDedup
+	for {
+		r, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		for p := 0; p < r.Pages; p++ {
-			lpn := r.LPN + int64(p)
-			if !seen[lpn] {
-				seen[lpn] = true
-			}
+			d.add(r.LPN + int64(p))
 		}
 	}
-	// Write in sorted order for reproducibility.
-	lpns := make([]int64, 0, len(seen))
-	for lpn := range seen {
-		lpns = append(lpns, lpn)
-	}
-	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
-	for _, lpn := range lpns {
+	d.compact()
+	for _, lpn := range d.sorted {
 		if _, err := s.ftl.Write(lpn); err != nil {
 			return err
 		}
@@ -304,43 +413,74 @@ func (s *Sim) Precondition(reqs []trace.Request) error {
 	return nil
 }
 
-// Run services the requests in arrival order and returns the report.
-// Within a request, page operations are issued in order; the request
-// completes when its last page does.
+// Run services the requests in arrival order and returns the report
+// with full latency collection and exact percentiles. Within a request,
+// page operations are issued in order; the request completes when its
+// last page does. For multi-million-request traces prefer the sharded
+// streaming Engine, which bounds memory and parallelizes across shards.
 func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
-	rep := &Report{Requests: len(reqs)}
-	var writeSum float64
-	for _, r := range reqs {
-		end := r.ArriveUS
-		for p := 0; p < r.Pages; p++ {
-			lpn := r.LPN + int64(p)
-			var done float64
-			var err error
-			if r.Op == trace.Read {
-				done, err = s.readPage(r.ArriveUS, lpn, rep)
-			} else {
-				done, err = s.writePage(r.ArriveUS, lpn)
-			}
-			if err != nil {
-				return nil, err
-			}
-			if done > end {
-				end = done
-			}
+	rep := &Report{collect: true}
+	if err := s.replay(trace.Sliced(reqs), rep); err != nil {
+		return nil, err
+	}
+	s.flushCounters(rep)
+	rep.finalize()
+	return rep, nil
+}
+
+// replay services src's requests in order, accumulating into rep. It
+// neither reads the FTL's cumulative counters nor finalizes, so the
+// engine can call it once per demuxed chunk and settle the report at
+// the end of the run.
+func (s *Sim) replay(src trace.Source, rep *Report) error {
+	for {
+		r, ok, err := src.Next()
+		if err != nil {
+			return err
 		}
-		lat := end - r.ArriveUS
-		if r.Op == trace.Read {
-			rep.Reads++
-			rep.ReadLatencies = append(rep.ReadLatencies, lat)
-		} else {
-			rep.Writes++
-			writeSum += lat
+		if !ok {
+			return nil
+		}
+		if err := s.service(r, rep); err != nil {
+			return err
 		}
 	}
+}
+
+// service runs one request to completion.
+func (s *Sim) service(r trace.Request, rep *Report) error {
+	rep.Requests++
+	end := r.ArriveUS
+	for p := 0; p < r.Pages; p++ {
+		lpn := r.LPN + int64(p)
+		var done float64
+		var err error
+		if r.Op == trace.Read {
+			done, err = s.readPage(r.ArriveUS, lpn, rep)
+		} else {
+			done, err = s.writePage(r.ArriveUS, lpn)
+		}
+		if err != nil {
+			return err
+		}
+		if done > end {
+			end = done
+		}
+	}
+	lat := end - r.ArriveUS
+	if r.Op == trace.Read {
+		rep.recordRead(lat)
+	} else {
+		rep.recordWrite(lat)
+	}
+	return nil
+}
+
+// flushCounters copies the FTL's cumulative counters (which include
+// preconditioning work) into the report.
+func (s *Sim) flushCounters(rep *Report) {
 	rep.GCWrites = s.ftl.GCWrites
 	rep.RetiredBlocks = s.ftl.BadBlocks
-	rep.finalize(writeSum)
-	return rep, nil
 }
 
 // readPage services one page read: sense on the die (repeated per retry),
@@ -349,8 +489,12 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 	ppn, ok := s.ftl.Translate(lpn)
 	if !ok {
 		// Read of never-written data: serviced from the mapping table
-		// without touching flash (returns zeros), a fixed small cost.
-		return arrive + 5, nil
+		// without touching flash (returns zeros), at the latency model's
+		// documented lookup cost. It completes through the same
+		// request-completion path as flash reads and is counted so
+		// reports distinguish it from media service.
+		rep.UnmappedReads++
+		return arrive + s.cfg.Lat.MapLookup, nil
 	}
 	pageType := ppn.Page % s.cfg.Bits
 	out := s.sampler.Sample(pageType, s.rng)

@@ -104,17 +104,90 @@ func TestReportStatistics(t *testing.T) {
 }
 
 func TestUnmappedReadCheap(t *testing.T) {
-	s, err := New(testSSDConfig(), FixedSampler{RetryOutcome{Retries: 9}})
+	cfg := testSSDConfig()
+	s, err := New(cfg, FixedSampler{RetryOutcome{Retries: 9}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	reqs := []trace.Request{{ArriveUS: 0, Op: trace.Read, LPN: 1234, Pages: 1}}
+	reqs := []trace.Request{{ArriveUS: 0, Op: trace.Read, LPN: 1234, Pages: 2}}
 	rep, err := s.Run(reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.ReadLatencies[0] > 10 {
-		t.Fatalf("unmapped read cost %v µs", rep.ReadLatencies[0])
+	// Both pages are unmapped: serviced at the latency model's documented
+	// mapping-lookup cost, counted, and free of retry accounting.
+	if rep.ReadLatencies[0] != cfg.Lat.MapLookup {
+		t.Fatalf("unmapped read cost %v µs, want MapLookup %v",
+			rep.ReadLatencies[0], cfg.Lat.MapLookup)
+	}
+	if rep.UnmappedReads != 2 {
+		t.Fatalf("UnmappedReads = %d, want 2", rep.UnmappedReads)
+	}
+	if rep.TotalRetries != 0 {
+		t.Fatalf("unmapped reads accrued %d retries", rep.TotalRetries)
+	}
+}
+
+// TestPreconditionSortedDedup pins the sorted-slice dedup to the
+// map-based one it replaced: ascending unique write order, so the FTL
+// state (and any later read's timing) is unchanged.
+func TestPreconditionSortedDedup(t *testing.T) {
+	reqs := []trace.Request{
+		{Op: trace.Write, LPN: 90, Pages: 3},
+		{Op: trace.Read, LPN: 5, Pages: 2},
+		{Op: trace.Read, LPN: 91, Pages: 2}, // overlaps the first request
+		{Op: trace.Read, LPN: 5, Pages: 1},  // exact duplicate
+	}
+	s, err := New(testSSDConfig(), FixedSampler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 6, 90, 91, 92}
+	if got := s.ftl.HostWrites; got != int64(len(want)) {
+		t.Fatalf("%d host writes, want %d (duplicates not removed?)", got, len(want))
+	}
+	// Sorted write order means sorted LPNs land on consecutive
+	// round-robin planes; the first LPN (5) must be on plane 0.
+	for i, lpn := range want {
+		ppn, ok := s.ftl.Translate(lpn)
+		if !ok {
+			t.Fatalf("LPN %d unmapped after preconditioning", lpn)
+		}
+		if ppn.Plane != i%s.cfg.Geo.Planes() {
+			t.Fatalf("LPN %d on plane %d; write order not ascending-unique", lpn, ppn.Plane)
+		}
+	}
+}
+
+// TestPreconditionSourceStreams: the streaming variant must produce the
+// same device state as the slice path, batch boundaries included.
+func TestPreconditionSourceStreams(t *testing.T) {
+	spec, _ := trace.WorkloadByName("hm_0")
+	spec.WorkingSetPages = 1 << 12
+	reqs, _ := trace.Generate(spec, 3000, 9)
+	a, _ := New(testSSDConfig(), FixedSampler{})
+	b, _ := New(testSSDConfig(), FixedSampler{})
+	if err := a.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PreconditionSource(trace.Sliced(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	if a.ftl.HostWrites != b.ftl.HostWrites {
+		t.Fatalf("host writes differ: %d vs %d", a.ftl.HostWrites, b.ftl.HostWrites)
+	}
+	for _, r := range reqs {
+		for p := 0; p < r.Pages; p++ {
+			pa, oka := a.ftl.Translate(r.LPN + int64(p))
+			pb, okb := b.ftl.Translate(r.LPN + int64(p))
+			if oka != okb || pa != pb {
+				t.Fatalf("LPN %d mapped differently: %v/%v vs %v/%v",
+					r.LPN+int64(p), pa, oka, pb, okb)
+			}
+		}
 	}
 }
 

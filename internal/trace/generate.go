@@ -105,47 +105,87 @@ func zipfLPN(r *mathx.Rand, n int64, s float64) int64 {
 	return int64(mathx.Mix(uint64(rank), 0x5ca77e2) % uint64(n))
 }
 
-// Generate produces n requests for the spec, deterministically from seed.
-func Generate(spec WorkloadSpec, n int, seed uint64) ([]Request, error) {
+// Generator streams the synthetic workload one request at a time; it is
+// the Source-shaped form of Generate, byte-identical to it for the same
+// (spec, n, seed). A fresh Generator with the same arguments replays the
+// same stream, which is how the replay engine makes its preconditioning
+// and replay passes without materializing the trace.
+type Generator struct {
+	spec    WorkloadSpec
+	n       int
+	emitted int
+	r       *mathx.Rand
+	now     float64
+	prevEnd int64
+}
+
+// NewGenerator returns a Source producing n requests for the spec,
+// deterministically from seed.
+func NewGenerator(spec WorkloadSpec, n int, seed uint64) (*Generator, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if n <= 0 {
 		return nil, fmt.Errorf("trace: non-positive request count %d", n)
 	}
-	r := mathx.NewRand(seed)
-	out := make([]Request, 0, n)
-	now := 0.0
-	var prevEnd int64
-	for i := 0; i < n; i++ {
-		// Arrival process: exponential base with a burst mode.
-		if r.Float64() < spec.Burstiness {
-			now += -math.Log(1-r.Float64()) * spec.MeanIATUS * 0.02
-		} else {
-			now += -math.Log(1-r.Float64()) * spec.MeanIATUS
-		}
-		op := Write
-		if r.Float64() < spec.ReadFrac {
-			op = Read
-		}
-		// Size: geometric with the requested mean.
-		pages := 1
-		p := 1 - 1/spec.MeanPages
-		for pages < 64 && r.Float64() < p {
-			pages++
-		}
-		var lpn int64
-		if r.Float64() < spec.SeqProb && prevEnd > 0 &&
-			prevEnd+int64(pages) < spec.WorkingSetPages {
-			lpn = prevEnd
-		} else {
-			lpn = zipfLPN(r, spec.WorkingSetPages, spec.ZipfS)
-			if lpn+int64(pages) > spec.WorkingSetPages {
-				lpn = spec.WorkingSetPages - int64(pages)
-			}
-		}
-		prevEnd = lpn + int64(pages)
-		out = append(out, Request{ArriveUS: now, Op: op, LPN: lpn, Pages: pages})
+	return &Generator{spec: spec, n: n, r: mathx.NewRand(seed)}, nil
+}
+
+// Len returns the total number of requests the generator will yield.
+func (g *Generator) Len() int { return g.n }
+
+// Next implements Source.
+func (g *Generator) Next() (Request, bool, error) {
+	if g.emitted >= g.n {
+		return Request{}, false, nil
 	}
-	return out, nil
+	g.emitted++
+	spec, r := g.spec, g.r
+	// Arrival process: exponential base with a burst mode.
+	if r.Float64() < spec.Burstiness {
+		g.now += -math.Log(1-r.Float64()) * spec.MeanIATUS * 0.02
+	} else {
+		g.now += -math.Log(1-r.Float64()) * spec.MeanIATUS
+	}
+	op := Write
+	if r.Float64() < spec.ReadFrac {
+		op = Read
+	}
+	// Size: geometric with the requested mean.
+	pages := 1
+	p := 1 - 1/spec.MeanPages
+	for pages < 64 && r.Float64() < p {
+		pages++
+	}
+	var lpn int64
+	if r.Float64() < spec.SeqProb && g.prevEnd > 0 &&
+		g.prevEnd+int64(pages) < spec.WorkingSetPages {
+		lpn = g.prevEnd
+	} else {
+		lpn = zipfLPN(r, spec.WorkingSetPages, spec.ZipfS)
+		if lpn+int64(pages) > spec.WorkingSetPages {
+			lpn = spec.WorkingSetPages - int64(pages)
+		}
+	}
+	g.prevEnd = lpn + int64(pages)
+	return Request{ArriveUS: g.now, Op: op, LPN: lpn, Pages: pages}, true, nil
+}
+
+// Generate produces n requests for the spec, deterministically from seed.
+func Generate(spec WorkloadSpec, n int, seed uint64) ([]Request, error) {
+	g, err := NewGenerator(spec, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Request, 0, n)
+	for {
+		req, ok, err := g.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, req)
+	}
 }

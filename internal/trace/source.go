@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Source is a pull iterator over a trace: Next returns requests one at a
+// time, in trace order, so multi-million-request traces stream through
+// the replay engine instead of being materialized as a []Request.
+//
+// Ordering contract: a Source yields requests in the order they should
+// be replayed. The built-in sources are deterministic — two sources
+// constructed with the same arguments yield identical streams — which is
+// what lets the engine make a preconditioning pass and a replay pass
+// over two independently opened instances of the same trace.
+type Source interface {
+	// Next returns the next request. ok is false when the trace is
+	// exhausted (req is then the zero Request); err reports generation
+	// or parse failures, after which the source is dead.
+	Next() (req Request, ok bool, err error)
+}
+
+// Opener produces a fresh Source positioned at the start of a trace.
+// The replay engine opens a trace twice — once to precondition, once to
+// replay — so openers must yield identical streams on every call (true
+// of all the built-in sources).
+type Opener func() (Source, error)
+
+// SliceOpener returns an Opener over a materialized trace.
+func SliceOpener(reqs []Request) Opener {
+	return func() (Source, error) { return Sliced(reqs), nil }
+}
+
+// GeneratorOpener returns an Opener that regenerates the synthetic
+// workload from scratch on every call.
+func GeneratorOpener(spec WorkloadSpec, n int, seed uint64) Opener {
+	return func() (Source, error) { return NewGenerator(spec, n, seed) }
+}
+
+// FileOpener returns an Opener that re-reads the MSR CSV trace at path.
+// Each returned source owns its file handle; the engine closes sources
+// that implement io.Closer.
+func FileOpener(path string) Opener {
+	return func() (Source, error) { return OpenMSR(path) }
+}
+
+// SliceSource adapts a materialized []Request to the Source interface.
+type SliceSource struct {
+	reqs []Request
+	i    int
+}
+
+// Sliced returns a Source that yields reqs in order. The slice is not
+// copied; callers must not mutate it while the source is in use.
+func Sliced(reqs []Request) *SliceSource { return &SliceSource{reqs: reqs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool, error) {
+	if s.i >= len(s.reqs) {
+		return Request{}, false, nil
+	}
+	r := s.reqs[s.i]
+	s.i++
+	return r, true, nil
+}
+
+// Collect drains src into a slice. It is the inverse of Sliced and the
+// compatibility bridge for callers that still want whole traces.
+func Collect(src Source) ([]Request, error) {
+	var out []Request
+	for {
+		r, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// MSRSource streams an MSR Cambridge CSV trace
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// one request per line, without slurping the file. Timestamps are
+// Windows filetime (100ns ticks) and are rebased so the first request
+// arrives at t=0; Offset and Size are bytes. Requests are yielded in
+// file order: the published MSR volumes are timestamp-sorted, so this
+// matches ParseMSR (which additionally sorts) on well-formed traces.
+type MSRSource struct {
+	sc      *bufio.Scanner
+	closer  io.Closer
+	line    int
+	started bool
+	t0      int64
+	err     error
+}
+
+// NewMSRSource returns a streaming parser over r. If r implements
+// io.Closer, Close forwards to it.
+func NewMSRSource(r io.Reader) *MSRSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	m := &MSRSource{sc: sc}
+	if c, ok := r.(io.Closer); ok {
+		m.closer = c
+	}
+	return m
+}
+
+// OpenMSR opens path as a streaming MSR trace; the caller owns Close.
+func OpenMSR(path string) (*MSRSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewMSRSource(f), nil
+}
+
+// Close releases the underlying reader when it is closable.
+func (m *MSRSource) Close() error {
+	if m.closer == nil {
+		return nil
+	}
+	err := m.closer.Close()
+	m.closer = nil
+	return err
+}
+
+// Next implements Source.
+func (m *MSRSource) Next() (Request, bool, error) {
+	if m.err != nil {
+		return Request{}, false, m.err
+	}
+	for m.sc.Scan() {
+		m.line++
+		text := strings.TrimSpace(m.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		req, ts, err := parseMSRLine(text, m.line)
+		if err != nil {
+			m.err = err
+			return Request{}, false, err
+		}
+		if !m.started {
+			m.started = true
+			m.t0 = ts
+		}
+		req.ArriveUS = float64(ts-m.t0) / 10.0 // 100ns ticks -> µs
+		return req, true, nil
+	}
+	if err := m.sc.Err(); err != nil {
+		m.err = err
+		return Request{}, false, err
+	}
+	return Request{}, false, nil
+}
+
+// parseMSRLine parses one CSV record, returning the request with its raw
+// timestamp (the caller rebases arrivals against the first one seen).
+func parseMSRLine(text string, line int) (Request, int64, error) {
+	f := strings.Split(text, ",")
+	if len(f) < 6 {
+		return Request{}, 0, fmt.Errorf("trace: line %d: %d fields, want >= 6", line, len(f))
+	}
+	ts, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("trace: line %d: bad timestamp: %w", line, err)
+	}
+	var op Op
+	switch strings.ToLower(strings.TrimSpace(f[3])) {
+	case "read":
+		op = Read
+	case "write":
+		op = Write
+	default:
+		return Request{}, 0, fmt.Errorf("trace: line %d: bad type %q", line, f[3])
+	}
+	off, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("trace: line %d: bad offset: %w", line, err)
+	}
+	size, err := strconv.ParseInt(f[5], 10, 64)
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("trace: line %d: bad size: %w", line, err)
+	}
+	pages := int((off%PageBytes + size + PageBytes - 1) / PageBytes)
+	if pages < 1 {
+		pages = 1
+	}
+	return Request{Op: op, LPN: off / PageBytes, Pages: pages}, ts, nil
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlicedRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ArriveUS: 1, Op: Read, LPN: 10, Pages: 2},
+		{ArriveUS: 2, Op: Write, LPN: 20, Pages: 1},
+	}
+	got, err := Collect(Sliced(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("collected %d requests", len(got))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+	// A drained source stays drained.
+	src := Sliced(reqs)
+	for i := 0; i < len(reqs); i++ {
+		if _, ok, _ := src.Next(); !ok {
+			t.Fatal("source exhausted early")
+		}
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("source yielded past the end")
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("drained source revived")
+	}
+}
+
+// TestGeneratorMatchesGenerate pins the streaming generator to the
+// materializing one: same spec, count and seed must give a byte-identical
+// stream, because the engine's two passes rely on regenerating it.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	for _, spec := range MSRWorkloads() {
+		want, err := Generate(spec, 500, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(spec, 500, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Len() != 500 {
+			t.Fatalf("Len = %d", g.Len())
+		}
+		got, err := Collect(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d streamed vs %d generated", spec.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: request %d differs: %+v vs %+v",
+					spec.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	spec, _ := WorkloadByName("hm_0")
+	if _, err := NewGenerator(spec, 0, 1); err == nil {
+		t.Fatal("accepted zero requests")
+	}
+	bad := spec
+	bad.ReadFrac = 2
+	if _, err := NewGenerator(bad, 10, 1); err == nil {
+		t.Fatal("accepted bad read fraction")
+	}
+}
+
+const msrSample = `128166372003061629,hm,0,Read,8192,4096,100
+128166372013061629,hm,0,Write,4096,8192,100
+# comment
+
+128166372023061629,hm,0,Read,0,512,100
+`
+
+// TestMSRSourceMatchesParseMSR: on a timestamp-sorted file (which the
+// published MSR volumes are), streaming yields exactly what ParseMSR
+// materializes.
+func TestMSRSourceMatchesParseMSR(t *testing.T) {
+	want, err := ParseMSR(strings.NewReader(msrSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewMSRSource(strings.NewReader(msrSample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d streamed vs %d parsed", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMSRSourceErrors(t *testing.T) {
+	cases := []string{
+		"notanumber,h,0,Read,0,4096,1",
+		"1,h,0,Flush,0,4096,1",
+		"1,h,0,Read,zero,4096,1",
+		"1,h,0,Read,0,big,1",
+		"1,h,0",
+	}
+	for _, c := range cases {
+		src := NewMSRSource(strings.NewReader("# ok\n" + c))
+		_, _, err := src.Next()
+		if err == nil {
+			t.Errorf("accepted %q", c)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("error for %q lacks line number: %v", c, err)
+		}
+		// The error is sticky: a dead source never yields again.
+		if _, ok, err2 := src.Next(); ok || err2 == nil {
+			t.Errorf("dead source revived after %q", c)
+		}
+	}
+}
+
+func TestOpenMSR(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	if err := os.WriteFile(path, []byte(msrSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenMSR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("collected %d requests", len(got))
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := OpenMSR(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("opened missing file")
+	}
+}

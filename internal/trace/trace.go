@@ -11,12 +11,8 @@
 package trace
 
 import (
-	"bufio"
-	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // Op is the request type.
@@ -58,58 +54,13 @@ const PageBytes = 4096
 //
 // Timestamp is in Windows filetime (100ns ticks); Offset and Size are in
 // bytes. Unparseable lines yield an error with the line number.
+//
+// ParseMSR materializes and timestamp-sorts the whole trace; for
+// multi-million-request files use NewMSRSource/OpenMSR, which stream
+// requests in file order instead.
 func ParseMSR(r io.Reader) ([]Request, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var out []Request
-	var t0 int64
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		f := strings.Split(text, ",")
-		if len(f) < 6 {
-			return nil, fmt.Errorf("trace: line %d: %d fields, want >= 6", line, len(f))
-		}
-		ts, err := strconv.ParseInt(f[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad timestamp: %w", line, err)
-		}
-		var op Op
-		switch strings.ToLower(strings.TrimSpace(f[3])) {
-		case "read":
-			op = Read
-		case "write":
-			op = Write
-		default:
-			return nil, fmt.Errorf("trace: line %d: bad type %q", line, f[3])
-		}
-		off, err := strconv.ParseInt(f[4], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad offset: %w", line, err)
-		}
-		size, err := strconv.ParseInt(f[5], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad size: %w", line, err)
-		}
-		if len(out) == 0 {
-			t0 = ts
-		}
-		pages := int((off%PageBytes + size + PageBytes - 1) / PageBytes)
-		if pages < 1 {
-			pages = 1
-		}
-		out = append(out, Request{
-			ArriveUS: float64(ts-t0) / 10.0, // 100ns ticks -> µs
-			Op:       op,
-			LPN:      off / PageBytes,
-			Pages:    pages,
-		})
-	}
-	if err := sc.Err(); err != nil {
+	out, err := Collect(NewMSRSource(r))
+	if err != nil {
 		return nil, err
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].ArriveUS < out[j].ArriveUS })
