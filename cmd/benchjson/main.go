@@ -22,6 +22,18 @@
 //
 // A baseline file may be a previous benchjson document (its "baseline"
 // map is preferred, then "current") or a bare name->result map.
+//
+// -gate turns the tool into a CI check: each gate expression asserts a
+// ratio and a failed assertion exits nonzero after the document is
+// written. Two forms are accepted:
+//
+//	-gate 'ReplayShard8Metrics/ReplayShard8:req/s>=0.99'   # within-run ratio
+//	-gate 'ReplayShard8:req/s>=0.95'                       # vs -baseline
+//
+// The first divides two results of the current run (immune to machine
+// differences — CI uses it to hold the metrics overhead under 1%); the
+// second divides current by baseline and requires -baseline. The unit
+// is either a custom metric ("req/s") or "ns/op".
 package main
 
 import (
@@ -139,7 +151,11 @@ func parse(r io.Reader) (*Doc, error) {
 			}
 		}
 		if name, res, ok := parseBenchLine(line); ok {
-			doc.Current[name] = res // last run of a repeated name wins
+			// Fastest of repeated runs (-count N) wins: the minimum is the
+			// noise-robust statistic, which matters for gating.
+			if prev, dup := doc.Current[name]; !dup || res.NsPerOp < prev.NsPerOp {
+				doc.Current[name] = res
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -208,9 +224,117 @@ func compare(base, cur map[string]Result) map[string]Comparison {
 	return out
 }
 
+// gate is one parsed -gate assertion: value(num)/value(den) cmp bound,
+// where den is empty for the vs-baseline form.
+type gate struct {
+	expr     string
+	num, den string // benchmark names
+	unit     string
+	ge       bool // true for >=, false for <=
+	bound    float64
+}
+
+// parseGate parses 'Name[/Other]:unit>=0.99' (or <=).
+func parseGate(expr string) (gate, error) {
+	g := gate{expr: expr}
+	op := ">="
+	i := strings.Index(expr, op)
+	if i < 0 {
+		op = "<="
+		i = strings.Index(expr, op)
+	}
+	if i < 0 {
+		return g, fmt.Errorf("gate %q: no >= or <= comparison", expr)
+	}
+	g.ge = op == ">="
+	b, err := strconv.ParseFloat(strings.TrimSpace(expr[i+len(op):]), 64)
+	if err != nil {
+		return g, fmt.Errorf("gate %q: bad bound: %w", expr, err)
+	}
+	g.bound = b
+	lhs := expr[:i]
+	j := strings.LastIndex(lhs, ":")
+	if j < 0 || j == len(lhs)-1 {
+		return g, fmt.Errorf("gate %q: missing :unit", expr)
+	}
+	g.unit = lhs[j+1:]
+	names := lhs[:j]
+	if k := strings.Index(names, "/"); k >= 0 {
+		g.num, g.den = names[:k], names[k+1:]
+	} else {
+		g.num = names
+	}
+	if g.num == "" || (g.den == "" && strings.Contains(names, "/")) {
+		return g, fmt.Errorf("gate %q: empty benchmark name", expr)
+	}
+	return g, nil
+}
+
+// metricOf extracts the gated unit from a result ("ns/op" is the typed
+// field, anything else a custom metric).
+func metricOf(res Result, unit string) (float64, bool) {
+	if unit == "ns/op" {
+		return res.NsPerOp, res.NsPerOp != 0
+	}
+	v, ok := res.Metrics[unit]
+	return v, ok
+}
+
+// check evaluates the gate against the document and returns a
+// human-readable verdict line plus pass/fail.
+func (g gate) check(doc *Doc) (string, error) {
+	lookup := func(m map[string]Result, name, side string) (float64, error) {
+		res, ok := m[name]
+		if !ok {
+			return 0, fmt.Errorf("gate %q: no %s result %q", g.expr, side, name)
+		}
+		v, ok := metricOf(res, g.unit)
+		if !ok || v == 0 {
+			return 0, fmt.Errorf("gate %q: result %q has no %s", g.expr, name, g.unit)
+		}
+		return v, nil
+	}
+	num, err := lookup(doc.Current, g.num, "current")
+	if err != nil {
+		return "", err
+	}
+	var den float64
+	if g.den != "" {
+		den, err = lookup(doc.Current, g.den, "current")
+	} else {
+		if doc.Baseline == nil {
+			return "", fmt.Errorf("gate %q: baseline form needs -baseline", g.expr)
+		}
+		den, err = lookup(doc.Baseline, g.num, "baseline")
+	}
+	if err != nil {
+		return "", err
+	}
+	ratio := num / den
+	op := ">="
+	pass := ratio >= g.bound
+	if !g.ge {
+		op = "<="
+		pass = ratio <= g.bound
+	}
+	line := fmt.Sprintf("gate %s: %.4f %s %g", g.expr, ratio, op, g.bound)
+	if !pass {
+		return "", fmt.Errorf("%s FAILED", line)
+	}
+	return line + " ok", nil
+}
+
+// gateFlags collects repeated -gate expressions.
+type gateFlags []string
+
+func (g *gateFlags) String() string     { return strings.Join(*g, ", ") }
+func (g *gateFlags) Set(s string) error { *g = append(*g, s); return nil }
+
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to embed and compare against")
 	out := flag.String("o", "", "output file (default stdout)")
+	var gates gateFlags
+	flag.Var(&gates, "gate", "ratio assertion like 'A/B:req/s>=0.99' (repeatable); a failed gate exits nonzero")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -241,10 +365,21 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fail(err)
+	}
+	// Gates run after the document is written, so a failed check still
+	// leaves the full numbers behind for diagnosis.
+	for _, expr := range gates {
+		g, err := parseGate(expr)
+		if err != nil {
+			fail(err)
+		}
+		line, err := g.check(doc)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", line)
 	}
 }
 

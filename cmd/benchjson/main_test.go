@@ -48,6 +48,20 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseRepeatedNameKeepsFastest(t *testing.T) {
+	in := "BenchmarkX 10 200 ns/op 500 req/s\n" +
+		"BenchmarkX 10 100 ns/op 900 req/s\n" +
+		"BenchmarkX 10 300 ns/op 400 req/s\n"
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := doc.Current["X"]
+	if x.NsPerOp != 100 || x.Metrics["req/s"] != 900 {
+		t.Fatalf("repeated name kept %+v, want the fastest run", x)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("expected error on benchmark-free input")
@@ -78,5 +92,76 @@ func TestCompare(t *testing.T) {
 	}
 	if a := cmp["A"]; a.MetricRatios != nil {
 		t.Fatalf("A grew metric ratios: %+v", a)
+	}
+}
+
+func TestParseGate(t *testing.T) {
+	g, err := parseGate("ReplayShard8Metrics/ReplayShard8:req/s>=0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.num != "ReplayShard8Metrics" || g.den != "ReplayShard8" ||
+		g.unit != "req/s" || !g.ge || g.bound != 0.99 {
+		t.Fatalf("gate = %+v", g)
+	}
+	g, err = parseGate("Sense:ns/op<=1.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.num != "Sense" || g.den != "" || g.unit != "ns/op" || g.ge || g.bound != 1.05 {
+		t.Fatalf("gate = %+v", g)
+	}
+	for _, bad := range []string{
+		"", "Sense", "Sense>=1", "Sense:req/s", "Sense:>=1", "Sense:req/s>=x",
+	} {
+		if _, err := parseGate(bad); err == nil {
+			t.Errorf("parseGate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestGateCheck(t *testing.T) {
+	doc := &Doc{
+		Current: map[string]Result{
+			"Plain":   {NsPerOp: 100, Metrics: map[string]float64{"req/s": 1000}},
+			"Metrics": {NsPerOp: 101, Metrics: map[string]float64{"req/s": 995}},
+		},
+		Baseline: map[string]Result{
+			"Plain": {NsPerOp: 110, Metrics: map[string]float64{"req/s": 950}},
+		},
+	}
+	mustPass := func(expr string) {
+		t.Helper()
+		g, err := parseGate(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.check(doc); err != nil {
+			t.Errorf("%s: %v", expr, err)
+		}
+	}
+	mustFail := func(expr string) {
+		t.Helper()
+		g, err := parseGate(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.check(doc); err == nil {
+			t.Errorf("%s: passed, want failure", expr)
+		}
+	}
+	mustPass("Metrics/Plain:req/s>=0.99") // 0.995
+	mustFail("Metrics/Plain:req/s>=0.999")
+	mustPass("Metrics/Plain:ns/op<=1.05") // 1.01
+	mustFail("Metrics/Plain:ns/op<=1.001")
+	mustPass("Plain:req/s>=1.0") // 1000/950 vs baseline
+	mustFail("Plain:req/s>=1.1")
+	mustFail("Missing/Plain:req/s>=1") // unknown numerator
+	mustFail("Metrics:req/s>=0.5")     // no baseline entry for Metrics
+	mustFail("Plain/Metrics:MB/s>=1")  // unit absent
+	if _, err := (gate{expr: "x", num: "Plain", unit: "req/s", ge: true, bound: 1}).check(&Doc{
+		Current: doc.Current, // baseline form without baseline map
+	}); err == nil {
+		t.Error("baseline-form gate without -baseline passed")
 	}
 }

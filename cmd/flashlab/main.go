@@ -21,6 +21,7 @@ import (
 	"sentinel3d/internal/fault"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 )
 
@@ -42,9 +43,31 @@ func main() {
 		faultOutlier = flag.Float64("fault-outlier", 0, "fraction of wordlines with an anomalous Vth shift")
 		faultBurst   = flag.Float64("fault-burst", 0, "probability a read is hit by a transient sense-noise burst")
 		faultSeed    = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed (decisions are pure hashes of seed and address)")
+
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics snapshot here at exit ('-' for stdout)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	// Bench-level instrumentation: what was measured and the RBER spread,
+	// plus pprof on -debug-addr for profiling full-width runs.
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry(1)
+	}
+	set := reg.Set(0)
+	wlMeasured := set.Counter("flashlab.wordlines", "wordlines characterized")
+	rberHist := set.Hist("flashlab.page_rber", "raw bit error rate per page measurement")
+	sweepPoints := set.Counter("flashlab.sweep_points", "error-vs-offset sweep points evaluated")
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
+	}
 
 	var kind flash.Kind
 	switch strings.ToLower(*kindStr) {
@@ -115,9 +138,12 @@ func main() {
 	sv := chip.Coding().SentinelVoltage()
 	rows := parallel.Map(len(wls), func(i int) []string {
 		wl := wls[i]
+		wlMeasured.Inc()
 		row := []string{fmt.Sprint(wl), fmt.Sprint(chip.LayerOf(wl))}
 		for p := 0; p < kind.Bits(); p++ {
-			row = append(row, fmt.Sprintf("%.3g", lab.PageRBER(0, wl, p, nil)))
+			rber := lab.PageRBER(0, wl, p, nil)
+			rberHist.Observe(rber)
+			row = append(row, fmt.Sprintf("%.3g", rber))
 		}
 		opt := lab.OptimalOffsets(0, wl)
 		return append(row,
@@ -133,6 +159,7 @@ func main() {
 		}
 		fmt.Printf("\nerror-vs-offset sweep of V%d on wordline %d:\n", *sweepV, wls[0])
 		offs, errs := lab.SweepCurve(0, wls[0], *sweepV)
+		sweepPoints.Add(int64(len(offs)))
 		var b strings.Builder
 		_, hi := mathx.MinMax(errs)
 		for i, o := range offs {
@@ -143,6 +170,11 @@ func main() {
 			fmt.Fprintf(&b, "%6.0f %7.0f %s\n", o, errs[i], strings.Repeat("#", bar))
 		}
 		fmt.Print(b.String())
+	}
+	if *metricsOut != "" {
+		if err := obs.Dump(*metricsOut, reg); err != nil {
+			log.Fatal(err)
+		}
 	}
 	os.Exit(0)
 }

@@ -20,6 +20,7 @@ import (
 
 	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/flash"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 )
 
@@ -34,6 +35,9 @@ func main() {
 		kindStr  = flag.String("kind", "both", "tlc, qlc or both (where applicable)")
 		requests = flag.Int("requests", 6000, "trace requests per workload (fig14, replay)")
 		workers  = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
+
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics snapshot here at exit ('-' for stdout)")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /slow, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -47,6 +51,24 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleStr)
 	}
+	// The experiments fan out over a single chip-level shard (Fig14's
+	// replay engines are single-shard too), so one shard is enough; the
+	// slow ring backs the /slow endpoint.
+	var reg *obs.Registry
+	if *metricsOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry(1)
+		reg.KeepSlowest(32)
+		scale.Obs = reg
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
+	}
+
 	kinds := []flash.Kind{flash.TLC, flash.QLC}
 	switch strings.ToLower(*kindStr) {
 	case "tlc":
@@ -155,5 +177,11 @@ func main() {
 		run("ablation/combined", func() (renderer, error) {
 			return experiments.AblateCombined(scale)
 		})
+	}
+
+	if *metricsOut != "" {
+		if err := obs.Dump(*metricsOut, reg); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -10,6 +10,8 @@
 //	tracesim -workload all
 //	tracesim -workload hm_0 -fault-stuck 0.08 -fault-pe 0.0005 -fallback
 //	tracesim -workload hm_0 -requests 2000000 -stream -shards 4 -workers 4
+//	tracesim -workload hm_0 -metrics - -slow slow.jsonl
+//	tracesim -workload all -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
@@ -48,6 +51,11 @@ func main() {
 		workers = flag.Int("workers", 0, "replay worker goroutines (0 = GOMAXPROCS)")
 		shards  = flag.Int("shards", 1, "device shards replayed concurrently (must divide the channel count)")
 		stream  = flag.Bool("stream", false, "stream the trace through the engine with O(1) histogram latency stats instead of materializing it")
+
+		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics snapshot here at exit ('-' for stdout)")
+		slowOut    = flag.String("slow", "", "write the slowest-read trace as JSONL here at exit ('-' for stdout)")
+		slowN      = flag.Int("slow-n", 32, "slow reads retained per shard for -slow / -debug-addr")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /slow, /debug/vars and /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -55,6 +63,24 @@ func main() {
 	scale := experiments.Quick()
 	if *full {
 		scale = experiments.Full()
+	}
+
+	// One registry instruments the whole stack: the chip-level controller
+	// and sentinel engine (via scale.Obs) and every replay engine below
+	// (via ReplayConfig.Metrics, sharded to match -shards).
+	var reg *obs.Registry
+	if *metricsOut != "" || *slowOut != "" || *debugAddr != "" {
+		reg = obs.NewRegistry(*shards)
+		reg.KeepSlowest(*slowN)
+		scale.Obs = reg
+	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
 	}
 
 	// Chip-level retry distributions for both policies.
@@ -196,6 +222,7 @@ func main() {
 				Shards:           *shards,
 				CollectLatencies: !*stream,
 				Precondition:     true,
+				Metrics:          reg,
 			}, s)
 			if err != nil {
 				log.Fatal(err)
@@ -229,4 +256,15 @@ func main() {
 		rows = append(rows, row)
 	}
 	fmt.Print(experiments.Table(header, rows))
+
+	if *metricsOut != "" {
+		if err := obs.Dump(*metricsOut, reg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *slowOut != "" {
+		if err := obs.DumpSlow(*slowOut, reg); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"sentinel3d/internal/ecc"
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
@@ -49,6 +50,12 @@ type Scale struct {
 	// MaxRetries is the controller's retry budget (vendor tables hold
 	// 15-50 entries).
 	MaxRetries int
+	// Obs, when non-nil, instruments every controller, sentinel engine
+	// and trace replay the experiments build. Experiments fan out across
+	// workers, so several instances may share the registry's cells; the
+	// cells are atomic and commutative, keeping the totals exact (and
+	// deterministic) even then.
+	Obs *obs.Registry
 }
 
 // Quick returns the reduced scale used by unit tests: 16k-cell wordlines
@@ -211,16 +218,34 @@ func (s Scale) BuildEvalChip(kind flash.Kind, seed uint64, eng *sentinel.Engine,
 	return chip, nil
 }
 
-// Engine builds a sentinel engine for the scale's layout against cfg.
+// Engine builds a sentinel engine for the scale's layout against cfg,
+// instrumented when the scale carries a registry.
 func (s Scale) Engine(model *sentinel.Model, cfg flash.Config) (*sentinel.Engine, error) {
-	return sentinel.NewEngine(model, s.Layout(), sentinel.DefaultCalibrator(), cfg)
+	eng, err := sentinel.NewEngine(model, s.Layout(), sentinel.DefaultCalibrator(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng.Obs = sentinel.NewMetrics(s.obsSet())
+	return eng, nil
 }
 
 // Controller builds a retry controller with the scale's ECC and default
-// latencies.
+// latencies, instrumented when the scale carries a registry.
 func (s Scale) Controller(chip *flash.Chip, maxRetries int) (*retry.Controller, error) {
-	return retry.NewController(chip, s.CapModel(chip.Config().Kind),
+	ctl, err := retry.NewController(chip, s.CapModel(chip.Config().Kind),
 		retry.DefaultLatency(), maxRetries)
+	if err != nil {
+		return nil, err
+	}
+	ctl.Obs = retry.NewMetrics(s.obsSet(), s.TableStep)
+	return ctl, nil
+}
+
+// obsSet returns shard 0 of the scale's registry (nil when
+// uninstrumented). The chip-level experiments are not sharded the way
+// the replay engine is, so they share the first shard's cells.
+func (s Scale) obsSet() *obs.Set {
+	return s.Obs.Set(0)
 }
 
 // ---------------------------------------------------------------------------

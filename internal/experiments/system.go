@@ -108,6 +108,7 @@ func Fig14TraceLatency(s Scale, requests int) (*Fig14Result, error) {
 		run := func(sampler ssdsim.RetrySampler) (*ssdsim.Report, error) {
 			eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
 				Sim: simCfg, CollectLatencies: true, Precondition: true,
+				Metrics: s.Obs,
 			}, sampler)
 			if err != nil {
 				return nil, err

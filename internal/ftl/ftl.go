@@ -128,6 +128,10 @@ type FTL struct {
 	// Faults optionally injects program/erase failures; nil means a
 	// fault-free medium. Set it before issuing writes.
 	Faults PEFaultModel
+
+	// Obs, when non-nil, receives counter deltas on FlushObs; the write
+	// path itself is untouched, so instrumentation is free per write.
+	Obs *Metrics
 }
 
 // New builds an FTL over the geometry.

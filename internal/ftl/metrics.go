@@ -1,0 +1,50 @@
+package ftl
+
+import "sentinel3d/internal/obs"
+
+// Metrics bundles the FTL's observability handles. The FTL's hot path
+// keeps its existing plain counters; FlushObs publishes deltas, so
+// instrumentation costs nothing per write.
+type Metrics struct {
+	HostWrites    *obs.Counter
+	GCRelocations *obs.Counter
+	Erases        *obs.Counter
+	RetiredBlocks *obs.Counter
+
+	// last* remember the values published so far, making FlushObs
+	// idempotent and incremental. The FTL is single-goroutine (see the
+	// FTL doc comment), so plain fields suffice.
+	lastHost, lastGC, lastErases, lastRetired int64
+}
+
+// NewMetrics binds the FTL's handles to set; a nil set yields a nil
+// (no-op) Metrics.
+func NewMetrics(set *obs.Set) *Metrics {
+	if set == nil {
+		return nil
+	}
+	return &Metrics{
+		HostWrites:    set.Counter("ftl.host_writes", "host page writes mapped"),
+		GCRelocations: set.Counter("ftl.gc_relocations", "valid pages relocated by GC and retirement"),
+		Erases:        set.Counter("ftl.erases", "block erases"),
+		RetiredBlocks: set.Counter("ftl.retired_blocks", "blocks retired after program/erase failures"),
+	}
+}
+
+// FlushObs publishes the growth of the FTL's counters since the last
+// flush into f.Obs. Call it at batch boundaries (the simulator flushes
+// per replay chunk); with Obs nil it is a no-op.
+func (f *FTL) FlushObs() {
+	m := f.Obs
+	if m == nil {
+		return
+	}
+	m.HostWrites.Add(f.HostWrites - m.lastHost)
+	m.lastHost = f.HostWrites
+	m.GCRelocations.Add(f.GCWrites - m.lastGC)
+	m.lastGC = f.GCWrites
+	m.Erases.Add(f.Erases - m.lastErases)
+	m.lastErases = f.Erases
+	m.RetiredBlocks.Add(f.BadBlocks - m.lastRetired)
+	m.lastRetired = f.BadBlocks
+}

@@ -1,6 +1,9 @@
 package mathx
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // LogHist bucket layout: every octave [2^(e-1), 2^e) is split into
 // logHistSub equal-width sub-buckets (an HDR-histogram-style
@@ -10,10 +13,14 @@ import "math"
 // microsecond-scale latencies that range spans ~5e-20 .. ~1.8e19, so
 // clamping never happens in practice.
 const (
-	logHistSub   = 32
-	logHistExpLo = -64
-	logHistExpHi = 64
+	logHistSub     = 32
+	logHistSubBits = 5 // log2(logHistSub); logHistIndex needs the power of two
+	logHistExpLo   = -64
+	logHistExpHi   = 64
 )
+
+// Compile-time check that logHistSubBits matches logHistSub.
+var _ = [1]struct{}{}[logHistSub-1<<logHistSubBits]
 
 // LogHist is a fixed-resolution log-bucketed histogram for non-negative
 // samples (read latencies). It stores O(1) state in the sample count —
@@ -33,19 +40,28 @@ type LogHist struct {
 	min, max float64
 }
 
-// logHistIndex maps a positive sample to its bucket.
+// logHistIndex maps a positive sample to its bucket. It is on the
+// replay hot path (two histogram adds per serviced read), so it works
+// straight off the float bits: the Frexp exponent is the biased
+// exponent field minus 1022, and the sub-bucket — the old
+// int((m*2-1)*logHistSub), which all cancels to a truncation because
+// every scale factor is a power of two — is the top log2(logHistSub)
+// mantissa bits. TestLogHistIndexMatchesFrexp pins the equivalence to
+// the Frexp formulation across the full exponent range.
 func logHistIndex(v float64) int {
-	m, e := math.Frexp(v) // v = m * 2^e, m in [0.5, 1)
+	b := math.Float64bits(v)
+	e := int(b>>52)&0x7ff - 1022
 	if e < logHistExpLo {
+		// Includes denormals: their true exponent is below -1022, far
+		// outside the bucketed range.
 		return 0
 	}
 	if e > logHistExpHi {
+		// Includes +Inf and NaN (biased exponent 0x7ff), which the old
+		// float arithmetic mishandled; callers route NaN away regardless.
 		return len(LogHist{}.counts) - 1
 	}
-	sub := int((m*2 - 1) * logHistSub)
-	if sub >= logHistSub { // FP guard; m < 1 makes this unreachable
-		sub = logHistSub - 1
-	}
+	sub := int(b>>(52-logHistSubBits)) & (logHistSub - 1)
 	return (e-logHistExpLo)*logHistSub + sub
 }
 
@@ -141,9 +157,20 @@ func (h *LogHist) Max() float64 {
 // nearest-rank definition, resolved to one bucket width: the result is
 // at least the rank's sample and overshoots it by less than
 // WidthFactor. With no samples it returns 0.
+//
+// q is validated before use: NaN and negative values take the minimum
+// path (rank 1) and values above 1 return the maximum. Converting an
+// unguarded NaN or out-of-range product to int64 is undefined per the
+// Go spec, so the raw conversion must never see such a q.
 func (h *LogHist) Quantile(q float64) float64 {
 	if h.count == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	rank := int64(math.Ceil(q * float64(h.count)))
 	if rank < 1 {
@@ -175,5 +202,63 @@ func (h *LogHist) Quantile(q float64) float64 {
 	return h.max // unreachable: counts sum to count-zero
 }
 
-// Percentile returns the p-th percentile (p in [0, 100]).
+// Percentile returns the p-th percentile (p in [0, 100]). It mirrors
+// Quantile's guard: NaN and negative p take the minimum path, p above
+// 100 returns the maximum.
 func (h *LogHist) Percentile(p float64) float64 { return h.Quantile(p / 100) }
+
+// ---------------------------------------------------------------------------
+// Bucket-layout accessors. The observability layer (internal/obs) keeps
+// its concurrent histograms on the exact LogHist bucket grid so shard
+// snapshots reconstruct as LogHist values and merge losslessly; these
+// expose the layout without opening up the accumulator state.
+
+// LogHistBuckets returns the number of positive-sample buckets.
+func LogHistBuckets() int { return len(LogHist{}.counts) }
+
+// LogHistBucketOf maps a positive sample to its bucket index. Callers
+// route v <= 0 (and NaN) to the zero count instead.
+func LogHistBucketOf(v float64) int { return logHistIndex(v) }
+
+// LogHistBucketUpper returns the exclusive upper bound of bucket i.
+func LogHistBucketUpper(i int) float64 { return logHistUpper(i) }
+
+// ZeroCount returns the number of recorded non-positive samples.
+func (h *LogHist) ZeroCount() int64 { return h.zero }
+
+// DiffVisit calls fn for every positive-sample bucket whose count
+// differs between h and prev (which may be nil, meaning all-zero),
+// passing the bucket index and the count delta. It lets an incremental
+// publisher push only the buckets a batch of samples touched.
+func (h *LogHist) DiffVisit(prev *LogHist, fn func(bucket int, delta int64)) {
+	for i, c := range h.counts {
+		var p int64
+		if prev != nil {
+			p = prev.counts[i]
+		}
+		if c != p {
+			fn(i, c-p)
+		}
+	}
+}
+
+// LogHistFromParts reconstructs a LogHist from externally accumulated
+// state: per-bucket counts on the LogHistBuckets layout, the
+// non-positive-sample count, the exact sum, and the observed min/max
+// (ignored when the histogram is empty). It is the bridge back from the
+// observability layer's atomic shard histograms to LogHist's merging
+// and quantile machinery.
+func LogHistFromParts(counts []int64, zero int64, sum, min, max float64) (*LogHist, error) {
+	if len(counts) != LogHistBuckets() {
+		return nil, fmt.Errorf("mathx: %d bucket counts, want %d", len(counts), LogHistBuckets())
+	}
+	h := &LogHist{zero: zero, sum: sum, count: zero}
+	copy(h.counts[:], counts)
+	for _, c := range counts {
+		h.count += c
+	}
+	if h.count > 0 {
+		h.min, h.max = min, max
+	}
+	return h, nil
+}

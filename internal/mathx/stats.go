@@ -55,14 +55,17 @@ func MinMax(xs []float64) (lo, hi float64) {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between closest ranks. It panics on an empty
-// slice.
+// slice. p is validated like LogHist.Quantile's q: NaN and negative p
+// take the minimum, p above 100 the maximum, so the rank-to-int
+// conversion below never sees a value whose conversion the Go spec
+// leaves undefined.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("mathx: Percentile of empty slice")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if p <= 0 {
+	if math.IsNaN(p) || p <= 0 {
 		return sorted[0]
 	}
 	if p >= 100 {

@@ -42,6 +42,10 @@ func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	cases := []struct{ p, want float64 }{
 		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+		// Out-of-range p must never reach the rank-to-int conversion:
+		// NaN and -Inf take the minimum, +Inf the maximum. Pre-guard,
+		// the NaN case computed int(math.Floor(NaN)) — undefined.
+		{math.NaN(), 1}, {math.Inf(-1), 1}, {math.Inf(1), 5},
 	}
 	for _, c := range cases {
 		if got := Percentile(xs, c.p); got != c.want {

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// writeTo renders into path, with "-" meaning stdout.
+func writeTo(path string, render func(f *os.File) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Dump writes a Prometheus text snapshot of the registry to path ("-"
+// for stdout). The CLI tools call it at exit for the -metrics flag.
+func Dump(path string, reg *Registry) error {
+	if reg == nil {
+		return fmt.Errorf("obs: dump of nil registry")
+	}
+	return writeTo(path, func(f *os.File) error {
+		return reg.Snapshot().WritePrometheus(f)
+	})
+}
+
+// DumpSlow writes the slow-read trace as JSONL to path ("-" for
+// stdout), slowest first.
+func DumpSlow(path string, reg *Registry) error {
+	if reg == nil {
+		return fmt.Errorf("obs: dump of nil registry")
+	}
+	return writeTo(path, func(f *os.File) error {
+		return reg.Snapshot().WriteSlowJSONL(f)
+	})
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SlowRead is one retained read-trace record: where the read went, what
+// the chip did (retry count, auxiliary senses, the final read-voltage
+// offsets applied), and where its time was spent.
+type SlowRead struct {
+	Shard int   `json:"shard"`
+	Seq   int64 `json:"seq"` // per-shard read sequence number
+	LPN   int64 `json:"lpn"`
+	Plane int   `json:"plane"`
+	Block int   `json:"block"`
+	Page  int   `json:"page"`
+
+	Retries   int `json:"retries"`
+	AuxSenses int `json:"aux_senses,omitempty"`
+	// VoltageOffsets is the final per-boundary read-voltage offset
+	// vector of the sampled chip-level read, when the sampler carries
+	// it (see ssdsim.RetryOutcome.Offsets).
+	VoltageOffsets []float64 `json:"voltage_offsets,omitempty"`
+
+	QueueUS float64 `json:"queue_us"` // die + channel queueing
+	SenseUS float64 `json:"sense_us"` // die occupancy
+	XferUS  float64 `json:"xfer_us"`  // channel occupancy (incl. decode)
+	TotalUS float64 `json:"total_us"` // arrival to completion
+
+	Uncorrectable bool `json:"uncorrectable,omitempty"`
+	Fallback      bool `json:"fallback,omitempty"`
+}
+
+// SlowRing retains the n slowest reads admitted to it, by TotalUS. One
+// ring per shard keeps admission single-writer, so the retained set is
+// a pure function of the shard's read stream — deterministic at any
+// worker count. The hot path is one atomic load: once the ring is
+// full, reads no slower than the current floor return immediately.
+//
+// A nil ring is a no-op.
+type SlowRing struct {
+	shard int
+	cap   int
+	// floorBits holds the admission threshold (the heap root's TotalUS)
+	// once the ring is full; zero doubles as "not full yet", which only
+	// costs fast-path rejections when every retained read has TotalUS 0.
+	floorBits atomic.Uint64
+
+	mu   sync.Mutex
+	heap []SlowRead // min-heap on (TotalUS asc, Seq desc): root = first evicted
+}
+
+func newSlowRing(shard, n int) *SlowRing {
+	return &SlowRing{shard: shard, cap: n}
+}
+
+// evictBefore reports whether record a should be evicted before b:
+// smaller TotalUS first, and among equals the later (larger Seq)
+// record, so ties keep the earliest reads.
+func evictBefore(a, b *SlowRead) bool {
+	if a.TotalUS != b.TotalUS {
+		return a.TotalUS < b.TotalUS
+	}
+	return a.Seq > b.Seq
+}
+
+// Rejects reports whether a read with the given total latency would be
+// dropped by Admit's fast path, letting hot callers skip building the
+// record entirely. A nil ring rejects everything.
+func (r *SlowRing) Rejects(totalUS float64) bool {
+	if r == nil {
+		return true
+	}
+	f := r.floorBits.Load()
+	return f != 0 && totalUS <= math.Float64frombits(f)
+}
+
+// Admit offers one read record. rec.Shard is overwritten with the
+// ring's shard; VoltageOffsets is cloned on retention so callers may
+// pass an aliased (pooled or shared) slice.
+func (r *SlowRing) Admit(rec SlowRead) {
+	if r == nil {
+		return
+	}
+	if f := r.floorBits.Load(); f != 0 && rec.TotalUS <= math.Float64frombits(f) {
+		// A full ring's floor only rises, so a stale load can only
+		// over-admit into the locked re-check below, never drop a record.
+		return
+	}
+	rec.Shard = r.shard
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.heap) < r.cap {
+		rec.VoltageOffsets = append([]float64(nil), rec.VoltageOffsets...)
+		r.heap = append(r.heap, rec)
+		r.siftUp(len(r.heap) - 1)
+		if len(r.heap) == r.cap {
+			r.floorBits.Store(math.Float64bits(r.heap[0].TotalUS))
+		}
+		return
+	}
+	if !evictBefore(&r.heap[0], &rec) {
+		return
+	}
+	rec.VoltageOffsets = append([]float64(nil), rec.VoltageOffsets...)
+	r.heap[0] = rec
+	r.siftDown(0)
+	r.floorBits.Store(math.Float64bits(r.heap[0].TotalUS))
+}
+
+func (r *SlowRing) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evictBefore(&r.heap[i], &r.heap[p]) {
+			return
+		}
+		r.heap[i], r.heap[p] = r.heap[p], r.heap[i]
+		i = p
+	}
+}
+
+func (r *SlowRing) siftDown(i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(r.heap) && evictBefore(&r.heap[l], &r.heap[least]) {
+			least = l
+		}
+		if rt := 2*i + 2; rt < len(r.heap) && evictBefore(&r.heap[rt], &r.heap[least]) {
+			least = rt
+		}
+		if least == i {
+			return
+		}
+		r.heap[i], r.heap[least] = r.heap[least], r.heap[i]
+		i = least
+	}
+}
+
+// records returns a copy of the retained set, unordered.
+func (r *SlowRing) records() []SlowRead {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SlowRead(nil), r.heap...)
+}
+
+// mergeSlow combines per-shard retained sets into the overall slowest
+// n, ordered slowest first with (Shard, Seq) breaking ties — a total
+// order, so the merged trace is deterministic.
+func mergeSlow(rings []*SlowRing, n int) []SlowRead {
+	var all []SlowRead
+	for _, r := range rings {
+		all = append(all, r.records()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.TotalUS != b.TotalUS {
+			return a.TotalUS > b.TotalUS
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sentinel3d/internal/mathx"
+)
+
+// TestSlowRingKeepsSlowest: the ring must retain exactly the n slowest
+// records of its stream, with ties resolved toward the earliest Seq.
+func TestSlowRingKeepsSlowest(t *testing.T) {
+	r := NewRegistry(1)
+	r.KeepSlowest(5)
+	ring := r.Set(0).SlowRing()
+	rng := mathx.NewRand(3)
+	type kv struct {
+		seq int64
+		us  float64
+	}
+	var all []kv
+	for i := 0; i < 2000; i++ {
+		us := float64(rng.Intn(500)) // deliberate ties
+		all = append(all, kv{int64(i), us})
+		ring.Admit(SlowRead{Seq: int64(i), LPN: int64(i), TotalUS: us})
+	}
+	// Reference: sort by (TotalUS desc, Seq asc), take 5.
+	want := append([]kv(nil), all...)
+	for i := range want { // insertion sort keeps the test dependency-free
+		for j := i; j > 0 && (want[j].us > want[j-1].us ||
+			(want[j].us == want[j-1].us && want[j].seq < want[j-1].seq)); j-- {
+			want[j], want[j-1] = want[j-1], want[j]
+		}
+	}
+	got := r.Snapshot().Slow
+	if len(got) != 5 {
+		t.Fatalf("retained %d records", len(got))
+	}
+	for i, rec := range got {
+		if rec.TotalUS != want[i].us || rec.Seq != want[i].seq {
+			t.Fatalf("slot %d: got (seq=%d, us=%v), want (seq=%d, us=%v)",
+				i, rec.Seq, rec.TotalUS, want[i].seq, want[i].us)
+		}
+		if rec.Shard != 0 {
+			t.Fatalf("slot %d: shard %d", i, rec.Shard)
+		}
+	}
+}
+
+// TestSlowRingClonesOffsets: retained records must not alias the
+// caller's (pooled) offset slice.
+func TestSlowRingClonesOffsets(t *testing.T) {
+	r := NewRegistry(1)
+	r.KeepSlowest(2)
+	ring := r.Set(0).SlowRing()
+	ofs := []float64{-1.5, -2.5}
+	ring.Admit(SlowRead{Seq: 1, TotalUS: 100, VoltageOffsets: ofs})
+	ofs[0] = 999 // caller recycles the buffer
+	got := r.Snapshot().Slow
+	if len(got) != 1 || got[0].VoltageOffsets[0] != -1.5 {
+		t.Fatalf("retained offsets alias the caller's slice: %+v", got)
+	}
+}
+
+// TestSlowMergeAcrossShards: the merged trace is the overall slowest n
+// in (TotalUS desc, Shard asc, Seq asc) order.
+func TestSlowMergeAcrossShards(t *testing.T) {
+	r := NewRegistry(2)
+	r.KeepSlowest(3)
+	r.Set(0).SlowRing().Admit(SlowRead{Seq: 0, TotalUS: 50})
+	r.Set(0).SlowRing().Admit(SlowRead{Seq: 1, TotalUS: 300})
+	r.Set(1).SlowRing().Admit(SlowRead{Seq: 0, TotalUS: 300})
+	r.Set(1).SlowRing().Admit(SlowRead{Seq: 1, TotalUS: 200})
+	slow := r.Snapshot().Slow
+	if len(slow) != 3 {
+		t.Fatalf("merged %d records", len(slow))
+	}
+	if slow[0].Shard != 0 || slow[0].TotalUS != 300 ||
+		slow[1].Shard != 1 || slow[1].TotalUS != 300 ||
+		slow[2].Shard != 1 || slow[2].TotalUS != 200 {
+		t.Fatalf("merge order wrong: %+v", slow)
+	}
+}
+
+// TestSlowJSONL: the dump is one valid JSON object per line with the
+// documented field names.
+func TestSlowJSONL(t *testing.T) {
+	r := NewRegistry(1)
+	r.KeepSlowest(2)
+	r.Set(0).SlowRing().Admit(SlowRead{
+		Seq: 7, LPN: 42, Plane: 1, Block: 2, Page: 3,
+		Retries: 4, AuxSenses: 1, VoltageOffsets: []float64{-0.5},
+		QueueUS: 10, SenseUS: 20, XferUS: 5, TotalUS: 35,
+		Uncorrectable: true,
+	})
+	var b strings.Builder
+	if err := r.Snapshot().WriteSlowJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	n := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		for _, k := range []string{"shard", "seq", "lpn", "retries", "total_us", "voltage_offsets"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", n, k, sc.Text())
+			}
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("%d JSONL lines", n)
+	}
+}

@@ -22,6 +22,7 @@ type Env struct {
 	senseOps  int
 	extraCost float64
 	scratch   []flash.Bitmap
+	met       *Metrics
 }
 
 // Sense performs an accounted one-voltage auxiliary read at voltage v with
@@ -115,6 +116,9 @@ type Controller struct {
 	ECC        ecc.CapabilityModel
 	Lat        LatencyModel
 	MaxRetries int
+	// Obs, when non-nil, receives per-read metrics (see Metrics); nil
+	// costs one branch per read.
+	Obs *Metrics
 }
 
 // NewController validates and builds a controller.
@@ -154,7 +158,7 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	}
 	env := &Env{
 		Chip: c.Chip, B: b, WL: wl, Page: page,
-		lat: c.Lat, seed: readSeed,
+		lat: c.Lat, seed: readSeed, met: c.Obs,
 	}
 	sess := pol.Session(env)
 	coding := c.Chip.Coding()
@@ -211,5 +215,6 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	flash.PutBitmap(bufs[0])
 	flash.PutBitmap(truth)
 	env.release()
+	c.Obs.record(&res, coding.SentinelVoltage())
 	return res
 }

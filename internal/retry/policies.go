@@ -251,6 +251,7 @@ type sentinelSession struct {
 // valid until the read finishes (same lifetime as Sense results) — which
 // also makes it safe to take of the ephemeral prior bitmap.
 func (e *Env) senseFromLSBReadout(read flash.Bitmap) flash.Bitmap {
+	e.met.lsbReuse()
 	out := e.hold(flash.GetBitmap(e.Chip.Config().CellsPerWordline))
 	for i, w := range read {
 		out[i] = ^w

@@ -14,6 +14,9 @@ type Engine struct {
 	Model  *Model
 	Layout Layout
 	Cal    Calibrator
+	// Obs, when non-nil, receives inference/calibration metrics; nil
+	// costs one branch per inference.
+	Obs *Metrics
 
 	indices []int
 	ratio   float64
@@ -100,7 +103,9 @@ func (e *Engine) Prepare(states []uint8) {
 // error-difference rate together with the inferred full offset vector.
 func (e *Engine) Infer(defaultSense flash.Bitmap) (d float64, offsets flash.Offsets) {
 	d = ErrorDiffRate(defaultSense, e.indices)
-	return d, e.Model.InferAt(d, e.tempC)
+	offsets = e.Model.InferAt(d, e.tempC)
+	e.Obs.recordInfer(d, offsets.Get(e.Model.SentinelVoltage))
+	return d, offsets
 }
 
 // CalibrationStep consumes the default-voltage sense and the sense at the
@@ -119,5 +124,6 @@ func (e *Engine) CalibrationStep(curSentOfs float64, defaultSense, curSense flas
 	states := len(e.Model.Corr) + 1
 	boundaryFraction := 2 / float64(states)
 	newSentOfs = e.Cal.Step(curSentOfs, nca, ncs, e.ratio, boundaryFraction)
+	e.Obs.recordCalStep(newSentOfs - curSentOfs)
 	return newSentOfs, e.Model.OffsetsFromSentinelAt(newSentOfs, e.tempC)
 }

@@ -1,0 +1,55 @@
+package sentinel
+
+import (
+	"math"
+
+	"sentinel3d/internal/obs"
+)
+
+// Metrics bundles the sentinel engine's observability handles; a nil
+// *Metrics makes every hook a no-op.
+type Metrics struct {
+	Infers   *obs.Counter
+	CalSteps *obs.Counter
+	// ErrorDiff tracks the measured error-difference rate d each
+	// inference consumed — the engine's input signal.
+	ErrorDiff *obs.Hist
+	// InferredOffset tracks |sentinel offset| produced by inference.
+	InferredOffset *obs.Hist
+	// CalAdjust tracks |Δ sentinel offset| per calibration step: how
+	// far each state-change step had to move, a proxy for the residual
+	// inference error the calibrator is correcting.
+	CalAdjust *obs.Hist
+}
+
+// NewMetrics binds the engine's handles to set; a nil set yields a nil
+// (no-op) Metrics.
+func NewMetrics(set *obs.Set) *Metrics {
+	if set == nil {
+		return nil
+	}
+	return &Metrics{
+		Infers:         set.Counter("sentinel.infers", "sentinel inferences performed"),
+		CalSteps:       set.Counter("sentinel.cal_steps", "state-change calibration steps"),
+		ErrorDiff:      set.Hist("sentinel.error_diff", "measured sentinel error-difference rate"),
+		InferredOffset: set.Hist("sentinel.inferred_offset_abs", "inferred |sentinel offset|, sentinel-voltage units"),
+		CalAdjust:      set.Hist("sentinel.cal_adjust_abs", "per-step |sentinel offset adjustment|"),
+	}
+}
+
+func (m *Metrics) recordInfer(d, sentOfs float64) {
+	if m == nil {
+		return
+	}
+	m.Infers.Inc()
+	m.ErrorDiff.Observe(d)
+	m.InferredOffset.Observe(math.Abs(sentOfs))
+}
+
+func (m *Metrics) recordCalStep(adjust float64) {
+	if m == nil {
+		return
+	}
+	m.CalSteps.Inc()
+	m.CalAdjust.Observe(math.Abs(adjust))
+}

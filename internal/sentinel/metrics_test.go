@@ -1,0 +1,64 @@
+package sentinel
+
+import (
+	"math"
+	"testing"
+
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/obs"
+)
+
+func findHist(t *testing.T, reg *obs.Registry, name string) *obs.HistSnap {
+	t.Helper()
+	for _, h := range reg.Snapshot().Hists {
+		if h.Name == name {
+			return &h
+		}
+	}
+	t.Fatalf("%s not in snapshot", name)
+	return nil
+}
+
+func TestEngineMetricsHooks(t *testing.T) {
+	eng, cfg := fuzzEngine(t)
+	reg := obs.NewRegistry(1)
+	eng.Obs = NewMetrics(reg.Set(0))
+
+	n := cfg.CellsPerWordline
+	sense := flash.NewBitmap(n)
+	for i := 0; i < n; i += 3 {
+		sense.Set(i, true)
+	}
+	d, ofs := eng.Infer(sense)
+	if got := eng.Obs.Infers.Value(); got != 1 {
+		t.Fatalf("infers = %d after one Infer", got)
+	}
+	if h := findHist(t, reg, "sentinel.error_diff"); h.Hist.Count() != 1 ||
+		math.Abs(h.Hist.Sum()-d) > 1e-6 {
+		t.Fatalf("error_diff hist count=%d sum=%v, want one sample of %v",
+			h.Hist.Count(), h.Hist.Sum(), d)
+	}
+	wantAbs := math.Abs(ofs.Get(eng.Model.SentinelVoltage))
+	if h := findHist(t, reg, "sentinel.inferred_offset_abs"); math.Abs(h.Hist.Sum()-wantAbs) > 1e-5 {
+		t.Fatalf("inferred_offset_abs sum=%v, want %v", h.Hist.Sum(), wantAbs)
+	}
+
+	cur := flash.NewBitmap(n)
+	newOfs, _ := eng.CalibrationStep(-4, sense, cur)
+	if got := eng.Obs.CalSteps.Value(); got != 1 {
+		t.Fatalf("cal_steps = %d after one step", got)
+	}
+	wantAdj := math.Abs(newOfs - (-4))
+	if h := findHist(t, reg, "sentinel.cal_adjust_abs"); h.Hist.Count() != 1 ||
+		math.Abs(h.Hist.Sum()-wantAdj) > 1e-6 {
+		t.Fatalf("cal_adjust_abs count=%d sum=%v, want one sample of %v",
+			h.Hist.Count(), h.Hist.Sum(), wantAdj)
+	}
+
+	// Uninstrumented engines (Obs nil) must behave identically.
+	bare, _ := fuzzEngine(t)
+	d2, ofs2 := bare.Infer(sense)
+	if d2 != d || ofs2.Get(eng.Model.SentinelVoltage) != ofs.Get(eng.Model.SentinelVoltage) {
+		t.Fatal("instrumentation changed inference results")
+	}
+}

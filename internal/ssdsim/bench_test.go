@@ -7,6 +7,7 @@ import (
 	"sentinel3d/internal/flash"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/physics"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/trace"
@@ -105,16 +106,22 @@ func BenchmarkReplaySequential(b *testing.B) {
 
 // benchReplayShards measures the streaming engine end to end (two
 // passes over the generator: precondition + replay) in the default
-// histogram mode.
-func benchReplayShards(b *testing.B, shards int) {
+// histogram mode, optionally with a full observability registry
+// attached (metrics, slow-read trace) but no scraper.
+func benchReplayShards(b *testing.B, shards int, withMetrics bool) {
 	cfg := DefaultConfig()
 	cfg.Geo = benchGeometry()
 	spec := benchSpec(cfg.Geo)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		var reg *obs.Registry
+		if withMetrics {
+			reg = obs.NewRegistry(shards)
+			reg.KeepSlowest(32)
+		}
 		eng, err := NewEngine(ReplayConfig{
-			Sim: cfg, Shards: shards, Precondition: true,
+			Sim: cfg, Shards: shards, Precondition: true, Metrics: reg,
 		}, benchSampler())
 		if err != nil {
 			b.Fatal(err)
@@ -129,11 +136,17 @@ func benchReplayShards(b *testing.B, shards int) {
 
 // BenchmarkReplayShard1 is the engine's single-shard streaming path —
 // the like-for-like successor of BenchmarkReplaySequential.
-func BenchmarkReplayShard1(b *testing.B) { benchReplayShards(b, 1) }
+func BenchmarkReplayShard1(b *testing.B) { benchReplayShards(b, 1, false) }
 
 // BenchmarkReplayShard8 shards the 8-channel device fully; with N CPUs
 // the shards replay on min(8, N) workers.
-func BenchmarkReplayShard8(b *testing.B) { benchReplayShards(b, 8) }
+func BenchmarkReplayShard8(b *testing.B) { benchReplayShards(b, 8, false) }
+
+// BenchmarkReplayShard8Metrics is BenchmarkReplayShard8 with the
+// observability registry enabled but idle (no scraper): its req/s is
+// gated in CI against the uninstrumented baseline to hold the metrics
+// overhead under 1%.
+func BenchmarkReplayShard8Metrics(b *testing.B) { benchReplayShards(b, 8, true) }
 
 // BenchmarkPrecondition measures the LPN-dedup warm-up pass on its own:
 // it dominates set-up time for large traces and its allocation count is

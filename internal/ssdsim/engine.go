@@ -3,8 +3,10 @@ package ssdsim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/trace"
 )
@@ -31,6 +33,14 @@ type ReplayConfig struct {
 	// Precondition makes a first pass over the trace that warms each
 	// shard's FTL exactly like Sim.Precondition before the replay pass.
 	Precondition bool
+	// Metrics, when non-nil, attaches each shard's simulator to the
+	// matching shard of the registry (the registry must have at least
+	// Shards shards). It supersedes Sim.Obs, which the engine overwrites
+	// per shard — a single Set shared across shards would break the
+	// deterministic-merge contract. Everything published is
+	// deterministic except the per-shard req/s gauges, which
+	// Snapshot.Deterministic strips.
+	Metrics *obs.Registry
 }
 
 // defaultChunkRequests holds ~1 MiB of requests per in-flight chunk.
@@ -68,6 +78,10 @@ func NewEngine(cfg ReplayConfig, sampler RetrySampler) (*Engine, error) {
 	if cfg.ChunkRequests < 0 {
 		return nil, fmt.Errorf("ssdsim: negative chunk size %d", cfg.ChunkRequests)
 	}
+	if cfg.Metrics != nil && cfg.Metrics.Shards() < cfg.Shards {
+		return nil, fmt.Errorf("ssdsim: metrics registry has %d shards, engine needs %d",
+			cfg.Metrics.Shards(), cfg.Shards)
+	}
 	sub := cfg.shardConfig(0)
 	if err := sub.Validate(); err != nil {
 		return nil, err
@@ -89,6 +103,7 @@ func (c ReplayConfig) shardConfig(s int) Config {
 	if c.Shards > 1 {
 		sub.Seed = mathx.Mix3(c.Sim.Seed, uint64(s), uint64(c.Shards))
 	}
+	sub.Obs = c.Metrics.Set(s)
 	return sub
 }
 
@@ -139,8 +154,18 @@ func (e *Engine) Replay(open trace.Opener) (*Report, error) {
 			return nil, err
 		}
 	}
-	if err := e.replayPass(sims, reps, open); err != nil {
+	busy := make([]float64, len(sims))
+	if err := e.replayPass(sims, reps, open, busy); err != nil {
 		return nil, err
+	}
+	if e.cfg.Metrics != nil {
+		for s := range sims {
+			if busy[s] > 0 {
+				e.cfg.Metrics.Set(s).Gauge("ssdsim.shard_req_per_sec",
+					"wall-clock replay throughput of this shard").
+					Set(float64(reps[s].Requests) / busy[s])
+			}
+		}
 	}
 	out := e.newReport()
 	for s := range sims {
@@ -216,7 +241,7 @@ type chunkMsg struct {
 // requests are serviced in stream order on that shard's Sim, and chunks
 // are replayed sequentially — the worker count only changes which
 // goroutine runs a given (chunk, shard) pair, never any state it sees.
-func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) error {
+func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener, busy []float64) error {
 	src, err := open()
 	if err != nil {
 		return err
@@ -229,6 +254,9 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) erro
 	done := make(chan struct{})
 	defer close(done) // releases a producer blocked on send if we bail early
 
+	// reordered is written by the producer when the stream drains cleanly
+	// and read after chunks closes; the close is the happens-before edge.
+	var reordered int64
 	go func() {
 		defer close(chunks)
 		for {
@@ -257,7 +285,13 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) erro
 				n++
 			}
 			if n == 0 && perr == nil {
-				return // clean end of trace
+				// Clean end of trace: collect the source's reordering count
+				// (streaming parsers that clamp out-of-order arrivals report
+				// it; other sources simply lack the method).
+				if rr, ok := src.(interface{ Reordered() int64 }); ok {
+					reordered = rr.Reordered()
+				}
+				return
 			}
 			select {
 			case chunks <- chunkMsg{perShard: per, err: perr}:
@@ -278,7 +312,10 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) erro
 			if len(msg.perShard[s]) == 0 {
 				return nil
 			}
-			return sims[s].replay(trace.Sliced(msg.perShard[s]), reps[s])
+			start := time.Now()
+			err := sims[s].replay(trace.Sliced(msg.perShard[s]), reps[s])
+			busy[s] += time.Since(start).Seconds()
+			return err
 		}); err != nil {
 			return err
 		}
@@ -286,6 +323,17 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener) erro
 		case recycle <- msg.perShard:
 		default:
 		}
+	}
+	// The demux is stream-global, so the reordering count is accounted to
+	// shard 0 rather than split; merge sums it back into the run total.
+	reps[0].ReorderedArrivals = reordered
+	if m := sims[0].met; m != nil && reordered != 0 {
+		m.reorderedArrivals.Add(reordered)
+	}
+	// Settle the paced metric flushes: after the last chunk the registry
+	// must hold the pass's exact totals.
+	for s := range sims {
+		sims[s].flushMetrics()
 	}
 	return closeSource(src)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/trace"
 )
@@ -124,9 +125,10 @@ func TestEngineWorkerDeterminism(t *testing.T) {
 }
 
 // TestEngineMillionRequestDeterminism is the scale acceptance check: a
-// 1M-request streamed trace over the fully-sharded 8-channel device
-// must produce byte-identical reports at every worker count, without
-// ever materializing the trace. Skipped under -short.
+// 1M-request streamed trace over the fully-sharded 8-channel device,
+// replayed with metrics enabled, must produce byte-identical reports
+// and metric renderings at every worker count, without ever
+// materializing the trace. Skipped under -short.
 func TestEngineMillionRequestDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replays 1M requests four times")
@@ -136,8 +138,13 @@ func TestEngineMillionRequestDeterminism(t *testing.T) {
 	spec := benchSpec(cfg.Geo)
 	const n = 1_000_000
 	var base *Report
+	var baseProm string
 	for _, w := range []int{1, 2, 4, 8} {
-		eng, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 8, Precondition: true}, benchSampler())
+		reg := obs.NewRegistry(8)
+		reg.KeepSlowest(32)
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: 8, Precondition: true, Metrics: reg,
+		}, benchSampler())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,8 +154,9 @@ func TestEngineMillionRequestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		prom := reg.Snapshot().Deterministic().Render()
 		if base == nil {
-			base = rep
+			base, baseProm = rep, prom
 			if rep.Requests != n {
 				t.Fatalf("%d requests serviced, want %d", rep.Requests, n)
 			}
@@ -156,6 +164,9 @@ func TestEngineMillionRequestDeterminism(t *testing.T) {
 		}
 		if !reflect.DeepEqual(rep, base) {
 			t.Fatalf("report diverged at %d workers:\n got %+v\nwant %+v", w, rep, base)
+		}
+		if prom != baseProm {
+			t.Fatalf("metric rendering diverged at %d workers", w)
 		}
 	}
 }

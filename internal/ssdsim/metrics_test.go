@@ -1,0 +1,229 @@
+package ssdsim
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sentinel3d/internal/obs"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/trace"
+)
+
+// counterValue digs a merged counter out of a registry snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %s not in snapshot", name)
+	return 0
+}
+
+// TestEngineMetricsMatchReport: with observability attached, the
+// registry's merged counters must agree exactly with the report the
+// same replay produced, across the simulator and FTL families.
+func TestEngineMetricsMatchReport(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 20000)
+	reg := obs.NewRegistry(4)
+	reg.KeepSlowest(16)
+	eng, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 4, Precondition: true, Metrics: reg,
+	}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Replay(trace.SliceOpener(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"ssdsim.read_requests", int64(rep.Reads)},
+		{"ssdsim.write_requests", int64(rep.Writes)},
+		{"ssdsim.retries", rep.TotalRetries},
+		{"ssdsim.uncorrectable_reads", rep.UncorrectableReads},
+		{"ssdsim.fallback_reads", rep.FallbackReads},
+		{"ssdsim.unmapped_reads", rep.UnmappedReads},
+		{"ssdsim.reordered_arrivals", rep.ReorderedArrivals},
+		{"ftl.gc_relocations", rep.GCWrites},
+		{"ftl.retired_blocks", rep.RetiredBlocks},
+	}
+	for _, c := range checks {
+		if got := counterValue(t, reg, c.name); got != c.want {
+			t.Errorf("%s = %d, report says %d", c.name, got, c.want)
+		}
+	}
+	if rep.Reads == 0 || rep.TotalRetries == 0 || rep.GCWrites == 0 {
+		t.Fatalf("degenerate workload: %+v", rep)
+	}
+	// The latency histogram holds every read request; the slow trace is
+	// full and carries the latency decomposition.
+	snap := reg.Snapshot()
+	for _, h := range snap.Hists {
+		if h.Name == "ssdsim.read_latency_us" && h.Hist.Count() != int64(rep.Reads) {
+			t.Errorf("read latency hist count %d, want %d", h.Hist.Count(), rep.Reads)
+		}
+	}
+	if len(snap.Slow) != 16 {
+		t.Fatalf("slow trace retained %d records, want 16", len(snap.Slow))
+	}
+	for i, r := range snap.Slow {
+		if r.TotalUS <= 0 || r.TotalUS < r.SenseUS {
+			t.Fatalf("slow[%d] inconsistent: %+v", i, r)
+		}
+		if i > 0 && r.TotalUS > snap.Slow[i-1].TotalUS {
+			t.Fatalf("slow trace not sorted slowest-first at %d", i)
+		}
+	}
+	// The per-shard throughput gauges are set — and stripped from the
+	// deterministic view.
+	if len(snap.Gauges) != 4 {
+		t.Fatalf("%d gauges set, want one per shard", len(snap.Gauges))
+	}
+	if det := snap.Deterministic(); len(det.Gauges) != 0 {
+		t.Fatal("Deterministic left gauges in place")
+	}
+}
+
+// TestEngineMetricsWorkerDeterminism: the deterministic rendering of
+// the registry — counters, merged histograms, slow-read trace — must be
+// byte-identical at every worker count and chunk size, like the report.
+func TestEngineMetricsWorkerDeterminism(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 20000)
+
+	render := func(workers, chunk int) (string, string, *Report) {
+		reg := obs.NewRegistry(4)
+		reg.KeepSlowest(8)
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: 4, ChunkRequests: chunk,
+			Precondition: true, Metrics: reg,
+		}, benchSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := parallel.SetWorkers(workers)
+		rep, err := eng.Replay(trace.SliceOpener(reqs))
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot().Deterministic()
+		prom := snap.Render()
+		var slow strings.Builder
+		if err := snap.WriteSlowJSONL(&slow); err != nil {
+			t.Fatal(err)
+		}
+		return prom, slow.String(), rep
+	}
+
+	baseProm, baseSlow, baseRep := render(1, 0)
+	if !strings.Contains(baseProm, "sentinel3d_ssdsim_read_requests") {
+		t.Fatalf("rendering lacks read counter:\n%s", baseProm)
+	}
+	for _, run := range []struct{ workers, chunk int }{{4, 0}, {8, 0}, {4, 7}} {
+		prom, slow, rep := render(run.workers, run.chunk)
+		if prom != baseProm {
+			t.Fatalf("workers=%d chunk=%d: prometheus text diverged", run.workers, run.chunk)
+		}
+		if slow != baseSlow {
+			t.Fatalf("workers=%d chunk=%d: slow trace diverged", run.workers, run.chunk)
+		}
+		if !reflect.DeepEqual(rep, baseRep) {
+			t.Fatalf("workers=%d chunk=%d: report diverged with metrics on", run.workers, run.chunk)
+		}
+	}
+}
+
+// TestEngineReorderedArrivals: an out-of-order MSR trace streams
+// through the engine with arrivals clamped, and the clamp count lands
+// in both the report and the metrics.
+func TestEngineReorderedArrivals(t *testing.T) {
+	// Records 2 and 4 run backwards in time.
+	csv := "128166372003061629,hm,0,Read,8192,8192,100\n" +
+		"128166372002061629,hm,0,Write,40960,4096,100\n" +
+		"128166372013061629,hm,0,Read,4096,16384,100\n" +
+		"128166372012061629,hm,0,Read,8192,4096,100\n"
+	path := filepath.Join(t.TempDir(), "ooo.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := engineConfig()
+	reg := obs.NewRegistry(2)
+	eng, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 2, Precondition: true, Metrics: reg,
+	}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Replay(trace.FileOpener(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReorderedArrivals != 2 {
+		t.Fatalf("ReorderedArrivals = %d, want 2", rep.ReorderedArrivals)
+	}
+	if got := counterValue(t, reg, "ssdsim.reordered_arrivals"); got != 2 {
+		t.Fatalf("reordered counter = %d, want 2", got)
+	}
+
+	// An in-order trace reports zero.
+	reqs := engineTrace(t, 1000)
+	eng2, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 2, Precondition: true},
+		benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := eng2.Replay(trace.SliceOpener(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ReorderedArrivals != 0 {
+		t.Fatalf("in-order trace reports %d reordered arrivals", rep2.ReorderedArrivals)
+	}
+}
+
+// TestEngineMetricsShardMismatch: a registry narrower than the shard
+// fan-out is a wiring bug and must be rejected up front.
+func TestEngineMetricsShardMismatch(t *testing.T) {
+	cfg := engineConfig()
+	if _, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 4, Metrics: obs.NewRegistry(2),
+	}, benchSampler()); err == nil {
+		t.Fatal("accepted 2-shard registry for 4-shard engine")
+	}
+}
+
+// TestSimRunWithMetrics: the unsharded Sim path accepts a Set directly
+// through its config.
+func TestSimRunWithMetrics(t *testing.T) {
+	cfg := engineConfig()
+	reg := obs.NewRegistry(1)
+	cfg.Obs = reg.Set(0)
+	reqs := engineTrace(t, 5000)
+	sim, err := New(cfg, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "ssdsim.read_requests"); got != int64(rep.Reads) {
+		t.Fatalf("read counter %d, want %d", got, rep.Reads)
+	}
+	if got := counterValue(t, reg, "ftl.host_writes"); got == 0 {
+		t.Fatal("FTL host writes not published")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
 	"sentinel3d/internal/retry"
 	"sentinel3d/internal/trace"
@@ -33,6 +34,11 @@ type RetryOutcome struct {
 	// Uncorrectable records that ECC never decoded within the retry
 	// budget; the SSD returns a media error for such a read.
 	Uncorrectable bool
+	// Offsets is the final per-boundary read-voltage offset vector of
+	// the measured chip-level read. The simulator's latency model never
+	// reads it; the slow-read trace (see internal/obs) reports it so a
+	// retained record shows which voltages the read ended on.
+	Offsets []float64
 }
 
 // RetrySampler yields retry outcomes for reads of a given page type
@@ -134,6 +140,7 @@ func BuildSampler(ctl *retry.Controller, pol retry.Policy, b int, wls []int, rep
 					AuxSenses:     res.AuxSenses,
 					UsedFallback:  res.UsedFallback,
 					Uncorrectable: res.Uncorrectable,
+					Offsets:       append([]float64(nil), res.FinalOffsets...),
 				})
 			}
 		}
@@ -167,6 +174,10 @@ type Config struct {
 	// PEFaults optionally injects program/erase failures into the FTL
 	// (see internal/fault); retired blocks are counted in the report.
 	PEFaults ftl.PEFaultModel
+	// Obs, when non-nil, attaches this simulator (and its FTL) to one
+	// shard of an observability registry. Nil keeps the replay loop
+	// free of instrumentation beyond one branch per request.
+	Obs *obs.Set
 }
 
 // DefaultConfig returns a TLC SSD configuration.
@@ -237,6 +248,11 @@ type Report struct {
 	// serviced from the mapping table at LatencyModel.MapLookup cost
 	// without touching flash.
 	UnmappedReads int64
+	// ReorderedArrivals counts trace records whose raw timestamp ran
+	// backwards and whose arrival the streaming parser clamped to the
+	// running maximum (see trace.MSRSource). Zero for in-order traces
+	// and for sources that do not report reordering.
+	ReorderedArrivals int64
 
 	// Accumulator state. collect appends read latencies for the exact
 	// percentile path; hist records them into the log-bucketed histogram
@@ -281,6 +297,7 @@ func (r *Report) merge(o *Report) {
 	r.FallbackReads += o.FallbackReads
 	r.RetiredBlocks += o.RetiredBlocks
 	r.UnmappedReads += o.UnmappedReads
+	r.ReorderedArrivals += o.ReorderedArrivals
 }
 
 func (r *Report) finalize() {
@@ -305,6 +322,7 @@ type Sim struct {
 	ftl     *ftl.FTL
 	sampler RetrySampler
 	rng     *mathx.Rand
+	met     *simMetrics
 
 	dieFree  []float64
 	chanFree []float64
@@ -336,11 +354,13 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 		return nil, err
 	}
 	f.Faults = cfg.PEFaults
+	f.Obs = ftl.NewMetrics(cfg.Obs)
 	return &Sim{
 		cfg:      cfg,
 		ftl:      f,
 		sampler:  sampler,
 		rng:      mathx.NewRand(cfg.Seed ^ 0x55d51a1),
+		met:      newSimMetrics(cfg.Obs),
 		dieFree:  make([]float64, cfg.Geo.Dies()),
 		chanFree: make([]float64, cfg.Geo.Channels),
 	}, nil
@@ -423,6 +443,7 @@ func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
 	if err := s.replay(trace.Sliced(reqs), rep); err != nil {
 		return nil, err
 	}
+	s.flushMetrics()
 	s.flushCounters(rep)
 	rep.finalize()
 	return rep, nil
@@ -431,7 +452,9 @@ func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
 // replay services src's requests in order, accumulating into rep. It
 // neither reads the FTL's cumulative counters nor finalizes, so the
 // engine can call it once per demuxed chunk and settle the report at
-// the end of the run.
+// the end of the run. Metric deltas publish on a paced schedule keyed
+// to source drains (the engine's chunking), with an unconditional
+// flushMetrics at end of run settling the exact totals.
 func (s *Sim) replay(src trace.Source, rep *Report) error {
 	for {
 		r, ok, err := src.Next()
@@ -439,12 +462,22 @@ func (s *Sim) replay(src trace.Source, rep *Report) error {
 			return err
 		}
 		if !ok {
+			s.met.chunkDrained()
+			s.ftl.FlushObs()
 			return nil
 		}
 		if err := s.service(r, rep); err != nil {
 			return err
 		}
 	}
+}
+
+// flushMetrics force-publishes every accumulated metric delta; callers
+// invoke it once after the last replay call so the registry holds the
+// run's exact totals.
+func (s *Sim) flushMetrics() {
+	s.met.flush()
+	s.ftl.FlushObs()
 }
 
 // service runs one request to completion.
@@ -470,8 +503,10 @@ func (s *Sim) service(r trace.Request, rep *Report) error {
 	lat := end - r.ArriveUS
 	if r.Op == trace.Read {
 		rep.recordRead(lat)
+		s.met.readDone(lat)
 	} else {
 		rep.recordWrite(lat)
+		s.met.writeDone()
 	}
 	return nil
 }
@@ -494,6 +529,7 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 		// request-completion path as flash reads and is counted so
 		// reports distinguish it from media service.
 		rep.UnmappedReads++
+		s.met.unmappedRead()
 		return arrive + s.cfg.Lat.MapLookup, nil
 	}
 	pageType := ppn.Page % s.cfg.Bits
@@ -520,6 +556,11 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 	xferStart := maxf(senseEnd, s.chanFree[ch])
 	xferEnd := xferStart + chanTime
 	s.chanFree[ch] = xferEnd
+	if s.met != nil {
+		wait := (senseStart - arrive) + (xferStart - senseEnd)
+		s.met.pageRead(&out, lpn, ppn.Plane, ppn.Block, ppn.Page,
+			wait, dieTime, chanTime, xferEnd-arrive)
+	}
 	return xferEnd, nil
 }
 

@@ -92,15 +92,24 @@ func Collect(src Source) ([]Request, error) {
 // one request per line, without slurping the file. Timestamps are
 // Windows filetime (100ns ticks) and are rebased so the first request
 // arrives at t=0; Offset and Size are bytes. Requests are yielded in
-// file order: the published MSR volumes are timestamp-sorted, so this
-// matches ParseMSR (which additionally sorts) on well-formed traces.
+// file order, which matches ParseMSR (it sorts by timestamp) on the
+// published MSR volumes because those are timestamp-sorted. On a trace
+// with out-of-order timestamps the two differ by construction — the
+// stream cannot be sorted without materializing it — so the streaming
+// path clamps each arrival to the running maximum: replay order is
+// file order, time never runs backwards, and Reordered counts the
+// records whose timestamps did.
 type MSRSource struct {
 	sc      *bufio.Scanner
 	closer  io.Closer
 	line    int
 	started bool
 	t0      int64
-	err     error
+	lastUS  float64
+	// reordered counts records whose raw timestamp preceded an earlier
+	// record's; their arrivals were clamped to the running maximum.
+	reordered int64
+	err       error
 }
 
 // NewMSRSource returns a streaming parser over r. If r implements
@@ -134,10 +143,43 @@ func (m *MSRSource) Close() error {
 	return err
 }
 
-// Next implements Source.
+// Next implements Source. Arrivals are rebased against the first
+// record and clamped to the running maximum, so a record whose raw
+// timestamp runs backwards (including one earlier than the first
+// record's) never injects a negative or time-travelling arrival into
+// the simulator; Reordered reports how many records were clamped.
 func (m *MSRSource) Next() (Request, bool, error) {
+	req, ts, ok, err := m.nextRaw()
+	if err != nil || !ok {
+		return Request{}, false, err
+	}
+	if !m.started {
+		m.started = true
+		m.t0 = ts
+	}
+	us := float64(ts-m.t0) / 10.0 // 100ns ticks -> µs
+	if us < m.lastUS {
+		us = m.lastUS
+		m.reordered++
+	} else {
+		m.lastUS = us
+	}
+	req.ArriveUS = us
+	return req, true, nil
+}
+
+// Reordered returns the number of records yielded so far whose raw
+// timestamp preceded an earlier record's. The replay engine surfaces
+// this in its Report so divergence from the sorted (ParseMSR) order is
+// visible rather than silent.
+func (m *MSRSource) Reordered() int64 { return m.reordered }
+
+// nextRaw yields the next record with its raw filetime timestamp,
+// skipping blank and comment lines. ParseMSR builds on it to sort by
+// raw timestamp before rebasing.
+func (m *MSRSource) nextRaw() (Request, int64, bool, error) {
 	if m.err != nil {
-		return Request{}, false, m.err
+		return Request{}, 0, false, m.err
 	}
 	for m.sc.Scan() {
 		m.line++
@@ -148,20 +190,15 @@ func (m *MSRSource) Next() (Request, bool, error) {
 		req, ts, err := parseMSRLine(text, m.line)
 		if err != nil {
 			m.err = err
-			return Request{}, false, err
+			return Request{}, 0, false, err
 		}
-		if !m.started {
-			m.started = true
-			m.t0 = ts
-		}
-		req.ArriveUS = float64(ts-m.t0) / 10.0 // 100ns ticks -> µs
-		return req, true, nil
+		return req, ts, true, nil
 	}
 	if err := m.sc.Err(); err != nil {
 		m.err = err
-		return Request{}, false, err
+		return Request{}, 0, false, err
 	}
-	return Request{}, false, nil
+	return Request{}, 0, false, nil
 }
 
 // parseMSRLine parses one CSV record, returning the request with its raw

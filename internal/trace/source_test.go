@@ -112,6 +112,139 @@ func TestMSRSourceMatchesParseMSR(t *testing.T) {
 	}
 }
 
+// msrMessy exercises every parser edge in one fixture: comments, blank
+// lines, CRLF endings, a size-0 record (still one page), and surplus
+// whitespace. Timestamps are in order so streaming == sorting.
+const msrMessy = "# MSR header comment\r\n" +
+	"128166372003061629,hm,0,Read,8192,4096,100\r\n" +
+	"\r\n" +
+	"128166372013061629,hm,0,Write,4096,8192,100\n" +
+	"   \n" +
+	"128166372023061629,hm,0,Read,12288,0,100\r\n" + // size 0 -> 1 page
+	"128166372033061629,hm,0,read,0,512,100\n" // case-insensitive op
+
+// TestMSRSourceGoldenMessy pins MSRSource and ParseMSR to the same
+// stream on the messy fixture, and the stream itself to golden values.
+func TestMSRSourceGoldenMessy(t *testing.T) {
+	want := []Request{
+		{ArriveUS: 0, Op: Read, LPN: 2, Pages: 1},
+		{ArriveUS: 1e6, Op: Write, LPN: 1, Pages: 2},
+		{ArriveUS: 2e6, Op: Read, LPN: 3, Pages: 1},
+		{ArriveUS: 3e6, Op: Read, LPN: 0, Pages: 1},
+	}
+	parsed, err := ParseMSR(strings.NewReader(msrMessy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewMSRSource(strings.NewReader(msrMessy))
+	streamed, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(want) || len(streamed) != len(want) {
+		t.Fatalf("parsed %d, streamed %d, want %d", len(parsed), len(streamed), len(want))
+	}
+	for i := range want {
+		if parsed[i] != want[i] {
+			t.Errorf("parsed[%d] = %+v, want %+v", i, parsed[i], want[i])
+		}
+		if streamed[i] != want[i] {
+			t.Errorf("streamed[%d] = %+v, want %+v", i, streamed[i], want[i])
+		}
+	}
+	if src.Reordered() != 0 {
+		t.Errorf("in-order fixture counted %d reordered records", src.Reordered())
+	}
+}
+
+// msrOutOfOrder: the file's first line is not its earliest record, and
+// a later record also steps backwards. Pre-fix, the streaming path
+// rebased against the first line and emitted negative, time-travelling
+// arrivals (-1e6µs here) straight into the simulator.
+const msrOutOfOrder = `128166372013061629,hm,0,Read,8192,4096,100
+128166372003061629,hm,0,Write,4096,8192,100
+128166372023061629,hm,0,Read,12288,4096,100
+128166372022061629,hm,0,Read,16384,4096,100
+`
+
+// TestMSRSourceOutOfOrder is the regression test for the streaming
+// rebase bug: arrivals must be clamped to the running maximum (never
+// negative, never decreasing) and the clamped records counted.
+func TestMSRSourceOutOfOrder(t *testing.T) {
+	src := NewMSRSource(strings.NewReader(msrOutOfOrder))
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUS := []float64{0, 0, 1e6, 1e6}
+	if len(got) != len(wantUS) {
+		t.Fatalf("streamed %d requests", len(got))
+	}
+	last := 0.0
+	for i, r := range got {
+		if r.ArriveUS != wantUS[i] {
+			t.Errorf("request %d arrives at %v, want %v", i, r.ArriveUS, wantUS[i])
+		}
+		if r.ArriveUS < last {
+			t.Errorf("request %d travels back in time: %v after %v", i, r.ArriveUS, last)
+		}
+		last = r.ArriveUS
+	}
+	if src.Reordered() != 2 {
+		t.Errorf("Reordered() = %d, want 2", src.Reordered())
+	}
+
+	// ParseMSR sorts by raw timestamp and rebases against the earliest
+	// record, so the sorted trace starts at 0 and is monotone.
+	parsed, err := ParseMSR(strings.NewReader(msrOutOfOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSorted := []Request{
+		{ArriveUS: 0, Op: Write, LPN: 1, Pages: 2},
+		{ArriveUS: 1e6, Op: Read, LPN: 2, Pages: 1},
+		{ArriveUS: 1.9e6, Op: Read, LPN: 4, Pages: 1},
+		{ArriveUS: 2e6, Op: Read, LPN: 3, Pages: 1},
+	}
+	if len(parsed) != len(wantSorted) {
+		t.Fatalf("parsed %d requests", len(parsed))
+	}
+	for i := range wantSorted {
+		if parsed[i] != wantSorted[i] {
+			t.Errorf("parsed[%d] = %+v, want %+v", i, parsed[i], wantSorted[i])
+		}
+	}
+}
+
+// FuzzParseMSRLine: no input may crash the line parser, and every
+// accepted line must yield an in-range request (positive page count,
+// LPN consistent with the offset) and re-parse identically.
+func FuzzParseMSRLine(f *testing.F) {
+	f.Add("128166372003061629,hm,0,Read,8192,4096,100")
+	f.Add("1,h,0,write,0,0,1")
+	f.Add("1,h,0,Read,-4096,512,1")
+	f.Add("9223372036854775807,h,0,Read,9223372036854775807,9223372036854775807,1")
+	f.Add(",,,,,,")
+	f.Add("1,h,0,Read,0x10,4096,1")
+	f.Fuzz(func(t *testing.T, line string) {
+		req, ts, err := parseMSRLine(line, 1)
+		if err != nil {
+			return
+		}
+		if req.Pages < 1 {
+			t.Fatalf("accepted line %q with %d pages", line, req.Pages)
+		}
+		if req.Op != Read && req.Op != Write {
+			t.Fatalf("accepted line %q with op %v", line, req.Op)
+		}
+		req2, ts2, err2 := parseMSRLine(line, 1)
+		if err2 != nil || req2 != req || ts2 != ts {
+			t.Fatalf("re-parse of %q diverged: %+v/%v vs %+v/%v (%v)",
+				line, req, ts, req2, ts2, err2)
+		}
+	})
+}
+
 func TestMSRSourceErrors(t *testing.T) {
 	cases := []string{
 		"notanumber,h,0,Read,0,4096,1",

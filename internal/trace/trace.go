@@ -55,15 +55,38 @@ const PageBytes = 4096
 // Timestamp is in Windows filetime (100ns ticks); Offset and Size are in
 // bytes. Unparseable lines yield an error with the line number.
 //
-// ParseMSR materializes and timestamp-sorts the whole trace; for
-// multi-million-request files use NewMSRSource/OpenMSR, which stream
-// requests in file order instead.
+// ParseMSR materializes the whole trace, stable-sorts it by raw
+// timestamp, and rebases arrivals so the earliest request arrives at
+// t=0 — even when the file's first line is not its earliest record.
+// For multi-million-request files use NewMSRSource/OpenMSR, which
+// stream requests in file order (clamping any backwards timestamps to
+// the running maximum) instead.
 func ParseMSR(r io.Reader) ([]Request, error) {
-	out, err := Collect(NewMSRSource(r))
-	if err != nil {
-		return nil, err
+	src := NewMSRSource(r)
+	type raw struct {
+		req Request
+		ts  int64
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].ArriveUS < out[j].ArriveUS })
+	var recs []raw
+	for {
+		req, ts, ok, err := src.nextRaw()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		recs = append(recs, raw{req, ts})
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].ts < recs[j].ts })
+	out := make([]Request, len(recs))
+	for i, rec := range recs {
+		rec.req.ArriveUS = float64(rec.ts-recs[0].ts) / 10.0
+		out[i] = rec.req
+	}
 	return out, nil
 }
 
