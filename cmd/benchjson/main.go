@@ -370,17 +370,34 @@ func main() {
 	}
 	// Gates run after the document is written, so a failed check still
 	// leaves the full numbers behind for diagnosis.
+	if failed := runGates(gates, doc, os.Stderr); failed > 0 {
+		fail(fmt.Errorf("%d of %d gates failed", failed, len(gates)))
+	}
+}
+
+// runGates evaluates every gate expression against the document,
+// printing one verdict line each, and returns the number of failures.
+// Every gate runs and every failing ratio is printed before the caller
+// exits nonzero — a CI run reports all regressions at once, not just
+// the first.
+func runGates(gates []string, doc *Doc, w io.Writer) int {
+	failed := 0
 	for _, expr := range gates {
 		g, err := parseGate(expr)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(w, "benchjson:", err)
+			failed++
+			continue
 		}
 		line, err := g.check(doc)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(w, "benchjson:", err)
+			failed++
+			continue
 		}
-		fmt.Fprintln(os.Stderr, "benchjson:", line)
+		fmt.Fprintln(w, "benchjson:", line)
 	}
+	return failed
 }
 
 func fail(err error) {

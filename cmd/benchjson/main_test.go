@@ -165,3 +165,32 @@ func TestGateCheck(t *testing.T) {
 		t.Error("baseline-form gate without -baseline passed")
 	}
 }
+
+// TestRunGatesAccumulates asserts a CI run reports every failing gate
+// before exiting nonzero, instead of stopping at the first.
+func TestRunGatesAccumulates(t *testing.T) {
+	doc := &Doc{Current: map[string]Result{
+		"Plain":   {NsPerOp: 100, Metrics: map[string]float64{"req/s": 1000}},
+		"Metrics": {NsPerOp: 101, Metrics: map[string]float64{"req/s": 995}},
+	}}
+	var out strings.Builder
+	failed := runGates([]string{
+		"Metrics/Plain:req/s>=0.999", // fails: 0.995
+		"not a gate",                 // fails: parse error
+		"Metrics/Plain:req/s>=0.99",  // passes
+		"Metrics/Plain:ns/op<=1.001", // fails: 1.01
+	}, doc, &out)
+	if failed != 3 {
+		t.Errorf("failed = %d, want 3\n%s", failed, out.String())
+	}
+	for _, want := range []string{
+		"Metrics/Plain:req/s>=0.999", "no >= or <=", "ns/op<=1.001", "req/s>=0.99",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if runGates(nil, doc, &out) != 0 {
+		t.Error("no gates reported failures")
+	}
+}

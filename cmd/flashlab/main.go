@@ -1,7 +1,8 @@
 // Command flashlab is an interactive characterization bench for the
 // simulated 3D NAND chips: build a chip, apply wear and retention, and
 // inspect RBER, optimal read voltages and error-vs-offset sweeps — the
-// Section II methodology of the paper on demand.
+// Section II methodology of the paper on demand. It is a thin front-end
+// over the internal/scenario registry's "charlab" experiment.
 //
 // Examples:
 //
@@ -13,16 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strings"
 
-	"sentinel3d/internal/charlab"
-	"sentinel3d/internal/experiments"
-	"sentinel3d/internal/fault"
-	"sentinel3d/internal/flash"
-	"sentinel3d/internal/mathx"
 	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/scenario"
 )
 
 func main() {
@@ -50,16 +46,20 @@ func main() {
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	// Bench-level instrumentation: what was measured and the RBER spread,
-	// plus pprof on -debug-addr for profiling full-width runs.
+	switch strings.ToLower(*kindStr) {
+	case "tlc", "qlc":
+	default:
+		log.Fatalf("unknown kind %q (want tlc or qlc)", *kindStr)
+	}
+	scaleStr := "quick"
+	if *full {
+		scaleStr = "full"
+	}
+
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry(1)
 	}
-	set := reg.Set(0)
-	wlMeasured := set.Counter("flashlab.wordlines", "wordlines characterized")
-	rberHist := set.Hist("flashlab.page_rber", "raw bit error rate per page measurement")
-	sweepPoints := set.Counter("flashlab.sweep_points", "error-vs-offset sweep points evaluated")
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, reg)
 		if err != nil {
@@ -69,112 +69,42 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
 	}
 
-	var kind flash.Kind
-	switch strings.ToLower(*kindStr) {
-	case "tlc":
-		kind = flash.TLC
-	case "qlc":
-		kind = flash.QLC
-	default:
-		log.Fatalf("unknown kind %q (want tlc or qlc)", *kindStr)
+	var fault *scenario.FaultSpec
+	if *faultStuck > 0 || *faultOutlier > 0 || *faultBurst > 0 {
+		fault = &scenario.FaultSpec{
+			Seed:              *faultSeed,
+			StuckRate:         *faultStuck,
+			StuckHighFraction: 0.5,
+			OutlierWLRate:     *faultOutlier,
+			BurstRate:         *faultBurst,
+		}
 	}
-	scale := experiments.Quick()
-	if *full {
-		scale = experiments.Full()
-	}
-	cfg := scale.ChipConfig(kind, *seed)
-	chip, err := flash.New(cfg)
+
+	res, err := scenario.RunCell(scenario.Spec{
+		Name:       "flashlab",
+		Experiment: "charlab",
+		Scale:      scaleStr,
+		Kind:       strings.ToLower(*kindStr),
+		PE:         *pe,
+		Hours:      *hours,
+		TempC:      *temp,
+		Wordlines:  *wordlines,
+		SweepV:     *sweepV,
+		Seed:       *seed,
+		Fault:      fault,
+	}, scenario.RunOptions{Obs: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	n := *wordlines
-	if n > cfg.WordlinesPerBlock() {
-		n = cfg.WordlinesPerBlock()
+	if fault != nil {
+		fmt.Printf("faults: stuck %.3g, outlier WLs %.3g, bursts %.3g, seed %d\n",
+			*faultStuck, *faultOutlier, *faultBurst, *faultSeed)
 	}
-	wls := make([]int, n)
-	for i := range wls {
-		wls[i] = i * cfg.WordlinesPerBlock() / n
-	}
-	// Each wordline gets its own RNG stream keyed by its index, so the
-	// programmed data does not depend on the worker count.
-	parallel.ForEach(len(wls), func(i int) {
-		rng := mathx.NewRand(mathx.Mix(*seed^0xf1a5, uint64(wls[i])))
-		chip.ProgramRandom(0, wls[i], rng)
-	})
-	chip.Cycle(0, *pe)
-	chip.Age(0, *hours, *temp)
+	fmt.Print(res.Render)
 
-	if *faultStuck > 0 || *faultOutlier > 0 || *faultBurst > 0 {
-		sw := chip.Model().P.StateWidth
-		inj, err := fault.New(fault.Profile{
-			Seed:              *faultSeed,
-			SentinelStuckRate: *faultStuck,
-			SentinelRegion:    [2]int{cfg.UserCells(), cfg.CellsPerWordline},
-			StuckHighFraction: 0.5,
-			OutlierWLRate:     *faultOutlier,
-			OutlierShift:      0.5 * sw,
-			BurstRate:         *faultBurst,
-			BurstSigma:        0.25 * sw,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		chip.SetFaults(inj)
-		fmt.Printf("faults: stuck %.3g (OOB cells %d..%d), outlier WLs %.3g, bursts %.3g, seed %d\n",
-			*faultStuck, cfg.UserCells(), cfg.CellsPerWordline, *faultOutlier, *faultBurst, *faultSeed)
-	}
-
-	fmt.Printf("chip: %v, %d layers x %d WL/layer, %d cells/WL, seed %d\n",
-		kind, cfg.Layers, cfg.WordlinesPerLayer, cfg.CellsPerWordline, *seed)
-	fmt.Printf("stress: %d P/E cycles, %.0f h at %.0f C (%.0f effective room-temp hours)\n\n",
-		*pe, *hours, *temp, chip.Stress(0).EffRetentionHours)
-
-	lab := charlab.New(chip)
-	header := []string{"wordline", "layer"}
-	for p := 0; p < kind.Bits(); p++ {
-		header = append(header, chip.Coding().PageName(p)+" RBER")
-	}
-	header = append(header, "MSB RBER@opt", "Vsent opt")
-	sv := chip.Coding().SentinelVoltage()
-	rows := parallel.Map(len(wls), func(i int) []string {
-		wl := wls[i]
-		wlMeasured.Inc()
-		row := []string{fmt.Sprint(wl), fmt.Sprint(chip.LayerOf(wl))}
-		for p := 0; p < kind.Bits(); p++ {
-			rber := lab.PageRBER(0, wl, p, nil)
-			rberHist.Observe(rber)
-			row = append(row, fmt.Sprintf("%.3g", rber))
-		}
-		opt := lab.OptimalOffsets(0, wl)
-		return append(row,
-			fmt.Sprintf("%.3g", lab.PageRBER(0, wl, kind.Bits()-1, opt)),
-			fmt.Sprintf("%.1f", opt.Get(sv)))
-	})
-	fmt.Print(experiments.Table(header, rows))
-
-	if *sweepV > 0 {
-		if *sweepV > chip.Coding().NumVoltages() {
-			log.Fatalf("voltage V%d out of range (max V%d)",
-				*sweepV, chip.Coding().NumVoltages())
-		}
-		fmt.Printf("\nerror-vs-offset sweep of V%d on wordline %d:\n", *sweepV, wls[0])
-		offs, errs := lab.SweepCurve(0, wls[0], *sweepV)
-		sweepPoints.Add(int64(len(offs)))
-		var b strings.Builder
-		_, hi := mathx.MinMax(errs)
-		for i, o := range offs {
-			if int(o)%4 != 0 {
-				continue
-			}
-			bar := int(errs[i] / (hi + 1) * 60)
-			fmt.Fprintf(&b, "%6.0f %7.0f %s\n", o, errs[i], strings.Repeat("#", bar))
-		}
-		fmt.Print(b.String())
-	}
 	if *metricsOut != "" {
 		if err := obs.Dump(*metricsOut, reg); err != nil {
 			log.Fatal(err)
 		}
 	}
-	os.Exit(0)
 }

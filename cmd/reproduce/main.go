@@ -1,40 +1,57 @@
 // Command reproduce runs the paper's tables and figures on the simulated
-// chips and prints the results as text tables.
+// chips and prints the results as text tables. It is a thin front-end
+// over the internal/scenario registry: every experiment id is a registry
+// entry, and -matrix runs a whole declarative experiment matrix (see
+// scenarios/) with shared preconditioning, golden-digest gating and
+// machine-readable per-cell results.
 //
 // Usage:
 //
-//	reproduce -exp fig13              # one experiment at quick scale
-//	reproduce -exp all -scale full    # the whole evaluation, full fidelity
+//	reproduce -exp fig13                     # one experiment at quick scale
+//	reproduce -exp all -scale full           # the whole evaluation, full fidelity
+//	reproduce -list                          # show every registry entry
+//	reproduce -matrix scenarios/paper.json   # the full declarative matrix
+//	reproduce -matrix scenarios/smoke.json -cells '^replay_' -out results/
 //
 // Experiment ids: fig2 fig3 fig45 fig6 fig7 fig8 fig10 table1 fig12 fig13
-// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 robust all; plus
-// replay (the trace-replay engine's scaling table, never part of all).
+// fig14 fig15 (alias: errcomp, covers figs 15-18) fig19 robust ablations
+// all; plus replay (one workload through the sharded streaming engine)
+// and replay-throughput (the engine's wall-clock scaling table, never
+// part of all).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"regexp"
 	"strings"
-	"time"
 
-	"sentinel3d/internal/experiments"
-	"sentinel3d/internal/flash"
 	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/scenario"
 )
-
-type renderer interface{ Render() string }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reproduce: ")
 	var (
-		expID    = flag.String("exp", "all", "experiment id (fig2..fig19, table1, ablations, all)")
+		expID    = flag.String("exp", "all", "experiment id (see -list), or all")
 		scaleStr = flag.String("scale", "quick", "quick or full")
 		kindStr  = flag.String("kind", "both", "tlc, qlc or both (where applicable)")
-		requests = flag.Int("requests", 6000, "trace requests per workload (fig14, replay)")
+		requests = flag.Int("requests", 0, "trace requests per workload (0 = experiment default)")
 		workers  = flag.Int("workers", 0, "worker goroutines for per-wordline fan-out (0 = all CPUs); results are identical at any setting")
+		workload = flag.String("workload", "", "replay: workload name (hm_0, prxy_0, ...)")
+		policy   = flag.String("policy", "", "replay: retry policy (sentinel, table, fallback, synthetic)")
+		shards   = flag.Int("shards", 0, "replay: engine shards (0 = 1)")
+
+		matrixPath = flag.String("matrix", "", "run a scenario matrix JSON instead of -exp")
+		cellsRe    = flag.String("cells", "", "with -matrix: run only cells whose name matches this regexp")
+		outDir     = flag.String("out", "", "with -matrix: write per-cell JSON results and matrix.json here")
+		benchOut   = flag.String("bench", "", "with -matrix: write go-bench-format cell lines here ('-' for stdout)")
+		list       = flag.Bool("list", false, "list registry experiments and exit")
 
 		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics snapshot here at exit ('-' for stdout)")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics, /slow, /debug/vars and /debug/pprof on this address during the run")
@@ -42,23 +59,26 @@ func main() {
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	var scale experiments.Scale
-	switch *scaleStr {
-	case "quick":
-		scale = experiments.Quick()
-	case "full":
-		scale = experiments.Full()
-	default:
-		log.Fatalf("unknown scale %q", *scaleStr)
+	if *list {
+		for _, e := range scenario.Entries() {
+			tags := ""
+			if e.PerKind {
+				tags += " [per-kind]"
+			}
+			if !e.InAll {
+				tags += " [not in all]"
+			}
+			fmt.Printf("%-20s %s%s\n", e.Name, e.Desc, tags)
+		}
+		return
 	}
-	// The experiments fan out over a single chip-level shard (Fig14's
-	// replay engines are single-shard too), so one shard is enough; the
-	// slow ring backs the /slow endpoint.
+
+	// The chip-level experiments fan out over a single shard, so one
+	// shard is enough for the CLI registry; the slow ring backs /slow.
 	var reg *obs.Registry
 	if *metricsOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry(1)
 		reg.KeepSlowest(32)
-		scale.Obs = reg
 	}
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, reg)
@@ -69,114 +89,10 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
 	}
 
-	kinds := []flash.Kind{flash.TLC, flash.QLC}
-	switch strings.ToLower(*kindStr) {
-	case "tlc":
-		kinds = []flash.Kind{flash.TLC}
-	case "qlc":
-		kinds = []flash.Kind{flash.QLC}
-	case "both":
-	default:
-		log.Fatalf("unknown kind %q", *kindStr)
-	}
-
-	run := func(id string, fn func() (renderer, error)) {
-		start := time.Now()
-		r, err := fn()
-		if err != nil {
-			log.Fatalf("%s: %v", id, err)
-		}
-		fmt.Printf("== %s (%s scale, %.1fs) ==\n%s\n",
-			id, scale.Name, time.Since(start).Seconds(), r.Render())
-	}
-
-	all := *expID == "all"
-	want := func(id string) bool { return all || *expID == id }
-
-	if want("fig2") {
-		run("fig2", func() (renderer, error) { return experiments.Fig2ErrorVsOffset(scale) })
-	}
-	if want("fig3") {
-		for _, k := range kinds {
-			k := k
-			run("fig3/"+k.String(), func() (renderer, error) {
-				return experiments.Fig3LayerRBER(scale, k)
-			})
-		}
-	}
-	if want("fig45") || want("fig4") || want("fig5") {
-		run("fig4+fig5", func() (renderer, error) { return experiments.Fig45Temperature(scale) })
-	}
-	if want("fig6") {
-		run("fig6", func() (renderer, error) { return experiments.Fig6LayerOptima(scale) })
-	}
-	if want("fig7") {
-		run("fig7", func() (renderer, error) { return experiments.Fig7ErrorMap(scale) })
-	}
-	if want("fig8") {
-		run("fig8", func() (renderer, error) { return experiments.Fig8Correlation(scale) })
-	}
-	if want("fig10") {
-		for _, k := range kinds {
-			k := k
-			run("fig10/"+k.String(), func() (renderer, error) {
-				return experiments.Fig10InferenceFit(scale, k)
-			})
-		}
-	}
-	if want("table1") {
-		for _, k := range kinds {
-			k := k
-			run("table1/"+k.String(), func() (renderer, error) {
-				return experiments.Table1SentinelRatio(scale, k)
-			})
-		}
-	}
-	if want("fig12") {
-		run("fig12", func() (renderer, error) { return experiments.Fig12StateChange(scale) })
-	}
-	if want("fig13") {
-		run("fig13", func() (renderer, error) { return experiments.Fig13RetryCount(scale) })
-	}
-	if want("fig14") {
-		run("fig14", func() (renderer, error) {
-			return experiments.Fig14TraceLatency(scale, *requests)
-		})
-	}
-	if want("fig15") || want("errcomp") || want("fig16") || want("fig17") || want("fig18") {
-		for _, k := range kinds {
-			k := k
-			run("figs15-18/"+k.String(), func() (renderer, error) {
-				return experiments.ErrorComparison(scale, k)
-			})
-		}
-	}
-	if want("fig19") {
-		run("fig19", func() (renderer, error) { return experiments.Fig19LDPC(scale) })
-	}
-	if want("robust") {
-		run("robust", func() (renderer, error) { return experiments.CorruptionSweep(scale) })
-	}
-	// Engineering measurement, not a paper figure: only on explicit
-	// request (it replays the trace four times to cover the matrix).
-	if *expID == "replay" {
-		run("replay", func() (renderer, error) {
-			return experiments.ReplayThroughput(*requests)
-		})
-	}
-	if want("ablations") {
-		run("ablation/placement", func() (renderer, error) {
-			return experiments.AblatePlacement(scale, flash.QLC)
-		})
-		run("ablation/tempbands", func() (renderer, error) {
-			return experiments.TempBandExperiment(scale)
-		})
-		run("ablation/delta", func() (renderer, error) {
-			return experiments.AblateCalibrationDelta(scale)
-		})
-		run("ablation/combined", func() (renderer, error) {
-			return experiments.AblateCombined(scale)
-		})
+	if *matrixPath != "" {
+		runMatrix(*matrixPath, *cellsRe, *outDir, *benchOut, reg)
+	} else {
+		runExp(*expID, *scaleStr, *kindStr, *requests, *workload, *policy, *shards, reg)
 	}
 
 	if *metricsOut != "" {
@@ -184,4 +100,146 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runMatrix executes a declarative matrix file and prints a per-cell
+// summary; golden mismatches and cell errors are all reported before
+// the command exits non-zero.
+func runMatrix(path, cellsRe, outDir, benchOut string, reg *obs.Registry) {
+	m, err := scenario.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := scenario.RunOptions{Obs: reg, ResultsDir: outDir}
+	if cellsRe != "" {
+		re, err := regexp.Compile(cellsRe)
+		if err != nil {
+			log.Fatalf("-cells: %v", err)
+		}
+		opts.Filter = re
+	}
+	var benchFile *os.File
+	switch benchOut {
+	case "":
+	case "-":
+		opts.BenchWriter = os.Stdout
+	default:
+		benchFile, err = os.Create(benchOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.BenchWriter = io.Writer(benchFile)
+	}
+	res, runErr := scenario.Run(m, opts)
+	if benchFile != nil {
+		if err := benchFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if res != nil {
+		for _, c := range res.Cells {
+			status := "ok"
+			if c.Err != "" {
+				status = "FAIL: " + c.Err
+			} else if c.Golden != "" {
+				status = "ok (golden " + c.Golden + ")"
+			}
+			fmt.Printf("== %s (%s, %.1fs) ==\n%s%-10s digest=%s  %s\n\n",
+				c.Name, m.Name, c.Seconds, renderBlock(c.Render), c.Experiment, c.Digest, status)
+		}
+		fmt.Printf("matrix %s: %d cells, %d failed, %d shared-precondition executions\n",
+			m.Name, len(res.Cells), len(res.Failed()), res.PrecondExecutions)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+// renderBlock newline-terminates a cell render for display.
+func renderBlock(r string) string {
+	if r == "" {
+		return ""
+	}
+	return strings.TrimRight(r, "\n") + "\n"
+}
+
+// aliases maps historical CLI experiment ids to registry entries.
+var aliases = map[string][]string{
+	"fig4":      {"fig45"},
+	"fig5":      {"fig45"},
+	"fig15":     {"errcomp"},
+	"fig16":     {"errcomp"},
+	"fig17":     {"errcomp"},
+	"fig18":     {"errcomp"},
+	"ablations": {"ablation-placement", "ablation-tempbands", "ablation-delta", "ablation-combined"},
+}
+
+// runExp dispatches one -exp id (or "all") through the registry.
+func runExp(expID, scaleStr, kindStr string, requests int, workload, policy string, shards int, reg *obs.Registry) {
+	kinds := []string{"tlc", "qlc"}
+	switch strings.ToLower(kindStr) {
+	case "tlc":
+		kinds = []string{"tlc"}
+	case "qlc":
+		kinds = []string{"qlc"}
+	case "both":
+	default:
+		log.Fatalf("unknown kind %q", kindStr)
+	}
+
+	var ids []string
+	switch {
+	case expID == "all":
+		for _, e := range scenario.Entries() {
+			if e.InAll {
+				ids = append(ids, e.Name)
+			}
+		}
+	case aliases[expID] != nil:
+		ids = aliases[expID]
+	default:
+		ids = []string{expID}
+	}
+
+	for _, id := range ids {
+		entry, err := scenario.Lookup(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runKinds := []string{""}
+		if entry.PerKind {
+			runKinds = kinds
+		}
+		for _, k := range runKinds {
+			spec := scenario.Spec{
+				Name:       strings.ReplaceAll(id, "/", "_"),
+				Experiment: id,
+				Scale:      scaleStr,
+				Kind:       k,
+				Requests:   requests,
+				Workload:   workload,
+				Policy:     policy,
+				Shards:     shards,
+			}
+			label := id
+			if k != "" {
+				spec.Name = id + "_" + k
+				label = id + "/" + k
+			}
+			res, err := scenario.RunCell(spec, scenario.RunOptions{Obs: reg})
+			if err != nil {
+				log.Fatalf("%s: %v", label, err)
+			}
+			fmt.Printf("== %s (%s scale, %.1fs) ==\n%s\n",
+				label, scaleName(scaleStr), res.Seconds, res.Render)
+		}
+	}
+}
+
+// scaleName normalizes the -scale flag for display.
+func scaleName(s string) string {
+	if s == "" {
+		return "quick"
+	}
+	return s
 }

@@ -2,6 +2,9 @@
 // comparing read latency under the current-flash retry baseline and the
 // sentinel policy (the paper's Figure 14 pipeline, usable with either the
 // built-in synthetic MSR-like workloads or a real MSR-format CSV file).
+// It is a thin front-end over internal/scenario: each (workload, policy)
+// pair is one replay cell, and the expensive chip preconditioning is
+// shared across all of them by the matrix runner.
 //
 // Examples:
 //
@@ -18,17 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
+	"strings"
 
 	"sentinel3d/internal/experiments"
-	"sentinel3d/internal/fault"
-	"sentinel3d/internal/flash"
-	"sentinel3d/internal/ftl"
-	"sentinel3d/internal/mathx"
 	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
-	"sentinel3d/internal/physics"
-	"sentinel3d/internal/retry"
+	"sentinel3d/internal/scenario"
 	"sentinel3d/internal/ssdsim"
 	"sentinel3d/internal/trace"
 )
@@ -60,19 +58,18 @@ func main() {
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
-	scale := experiments.Quick()
+	scaleStr := "quick"
 	if *full {
-		scale = experiments.Full()
+		scaleStr = "full"
 	}
 
 	// One registry instruments the whole stack: the chip-level controller
-	// and sentinel engine (via scale.Obs) and every replay engine below
-	// (via ReplayConfig.Metrics, sharded to match -shards).
+	// and sentinel engine (via the cell scale) and every replay engine
+	// below (via ReplayConfig.Metrics, sharded to match -shards).
 	var reg *obs.Registry
 	if *metricsOut != "" || *slowOut != "" || *debugAddr != "" {
 		reg = obs.NewRegistry(*shards)
 		reg.KeepSlowest(*slowN)
-		scale.Obs = reg
 	}
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, reg)
@@ -83,170 +80,114 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
 	}
 
-	// Chip-level retry distributions for both policies.
-	model, err := scale.TrainModel(flash.TLC, 1)
-	if err != nil {
-		log.Fatal(err)
+	// The policies column set: the static-table baseline and sentinel
+	// always, fallback on request.
+	policies := []string{"table", "sentinel"}
+	if *useFallback {
+		policies = append(policies, "fallback")
 	}
-	cfg := scale.ChipConfig(flash.TLC, 2)
-	eng, err := scale.Engine(model, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	chip, err := scale.BuildEvalChip(flash.TLC, 2, eng, *pe, physics.YearHours)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctl, err := scale.Controller(chip, 15)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *faultStuck > 0 {
-		inj, err := fault.New(fault.Profile{
-			Seed:              *faultSeed,
-			SentinelStuckRate: *faultStuck,
-			SentinelRegion:    [2]int{cfg.UserCells(), cfg.CellsPerWordline},
-			StuckHighFraction: 1,
-		})
-		if err != nil {
+
+	var names []string
+	switch {
+	case *traceFile != "":
+		names = []string{*traceFile}
+	case *workload == "all":
+		for _, spec := range trace.MSRWorkloads() {
+			names = append(names, spec.Name)
+		}
+	default:
+		if _, err := trace.WorkloadByName(*workload); err != nil {
 			log.Fatal(err)
 		}
-		chip.SetFaults(inj)
+		names = []string{*workload}
+	}
+
+	var fault *scenario.FaultSpec
+	if *faultStuck > 0 || *faultPE > 0 {
+		fault = &scenario.FaultSpec{
+			Seed:              *faultSeed,
+			StuckRate:         *faultStuck,
+			StuckHighFraction: 1,
+			ProgramFailRate:   *faultPE,
+		}
+	}
+
+	// One cell per (workload, policy). The seed is pinned per workload so
+	// every policy replays the identical trace; sanitize file paths into
+	// legal cell names.
+	m := &scenario.Matrix{Name: "tracesim"}
+	for _, name := range names {
+		seed := scenario.SplitSeed(7, name)
+		for _, pol := range policies {
+			spec := scenario.Spec{
+				Name:       cellName(name) + "_" + pol,
+				Experiment: "replay",
+				Scale:      scaleStr,
+				Policy:     pol,
+				Requests:   *requests,
+				PE:         *pe,
+				Shards:     *shards,
+				Seed:       seed,
+				Collect:    !*stream,
+				Fault:      fault,
+			}
+			if *traceFile != "" {
+				spec.TraceFile = *traceFile
+			} else {
+				spec.Workload = name
+			}
+			m.Cells = append(m.Cells, spec)
+		}
+	}
+
+	if *faultStuck > 0 {
 		fmt.Printf("faults: %.3g of OOB cells stuck high (seed %d)\n", *faultStuck, *faultSeed)
 	}
-	var wls []int
-	for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
-		wls = append(wls, wl)
-	}
-	table := retry.NewDefaultTable(chip, 2)
-	base, err := ssdsim.BuildSampler(ctl, table, 0, wls, 3, 11)
+
+	res, err := scenario.Run(m, scenario.RunOptions{Obs: reg, KeepPayload: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	sent, err := ssdsim.BuildSampler(ctl, retry.NewSentinelPolicy(eng), 0, wls, 3, 12)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var fb *ssdsim.EmpiricalSampler
-	if *useFallback {
-		pol := retry.NewFallback(retry.NewSentinelPolicy(eng), table)
-		pol.ProbeBlock(chip, 0, 0)
-		fb, err = ssdsim.BuildSampler(ctl, pol, 0, wls, 3, 13)
-		if err != nil {
-			log.Fatal(err)
+
+	// Cells are in matrix order: len(policies) per workload.
+	byPolicy := func(i int, pol string) scenario.CellResult {
+		for j, p := range policies {
+			if p == pol {
+				return res.Cells[i*len(policies)+j]
+			}
 		}
-		fmt.Printf("fallback probe: block degraded = %v\n", pol.BlockDegraded(0))
+		panic("unknown policy " + pol)
 	}
-	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f", base.MeanRetries(2), sent.MeanRetries(2))
-	if fb != nil {
-		fmt.Printf(", fallback %.2f", fb.MeanRetries(2))
+	first := byPolicy(0, "table")
+	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f",
+		first.Metrics["msb-retries"], byPolicy(0, "sentinel").Metrics["msb-retries"])
+	if *useFallback {
+		fmt.Printf(", fallback %.2f", byPolicy(0, "fallback").Metrics["msb-retries"])
 	}
 	fmt.Print("\n\n")
 
-	simCfg := ssdsim.DefaultConfig()
-	simCfg.Geo = ftl.Geometry{
-		Channels: 4, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
-		BlocksPerPlane: 32, PagesPerBlock: 192,
-	}
-	if *faultPE > 0 {
-		inj, err := fault.New(fault.Profile{
-			Seed:               *faultSeed,
-			FTLProgramFailRate: *faultPE,
-			FTLEraseFailRate:   4 * *faultPE,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		simCfg.PEFaults = inj
-	}
-
-	// Each workload is an Opener so traces can stream: with -stream the
-	// engine pulls straight from the file or generator (memory stays
-	// O(shards)); without it the trace is materialized once, exactly as
-	// before.
-	type workloadEntry struct {
-		name string
-		open trace.Opener
-	}
-	var workloads []workloadEntry
-	if *traceFile != "" {
-		if *stream {
-			workloads = append(workloads, workloadEntry{*traceFile, trace.FileOpener(*traceFile)})
-		} else {
-			f, err := os.Open(*traceFile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			reqs, err := trace.ParseMSR(f)
-			f.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-			workloads = append(workloads, workloadEntry{*traceFile, trace.SliceOpener(reqs)})
-		}
-	} else {
-		specs := trace.MSRWorkloads()
-		if *workload != "all" {
-			spec, err := trace.WorkloadByName(*workload)
-			if err != nil {
-				log.Fatal(err)
-			}
-			specs = []trace.WorkloadSpec{spec}
-		}
-		for _, spec := range specs {
-			spec.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
-			seed := mathx.Mix(7, uint64(len(spec.Name)))
-			if *stream {
-				workloads = append(workloads, workloadEntry{spec.Name, trace.GeneratorOpener(spec, *requests, seed)})
-			} else {
-				reqs, err := trace.Generate(spec, *requests, seed)
-				if err != nil {
-					log.Fatal(err)
-				}
-				workloads = append(workloads, workloadEntry{spec.Name, trace.SliceOpener(reqs)})
-			}
-		}
-	}
-
 	header := []string{"workload", "reads", "base µs", "sentinel µs", "reduction",
 		"base p99", "sent p99"}
-	if fb != nil {
+	if *useFallback {
 		header = append(header, "fb µs", "fb degraded")
 	}
 	header = append(header, "uncorr b/s", "retired")
 	var rows [][]string
-	for _, w := range workloads {
-		run := func(s ssdsim.RetrySampler) *ssdsim.Report {
-			eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
-				Sim:              simCfg,
-				Shards:           *shards,
-				CollectLatencies: !*stream,
-				Precondition:     true,
-				Metrics:          reg,
-			}, s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			rep, err := eng.Replay(w.open)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return rep
-		}
-		b := run(base)
-		s := run(sent)
+	for i, name := range names {
+		b := report(byPolicy(i, "table"))
+		s := report(byPolicy(i, "sentinel"))
 		red := 0.0
 		if b.MeanReadUS > 0 {
 			red = 1 - s.MeanReadUS/b.MeanReadUS
 		}
 		row := []string{
-			w.name, fmt.Sprint(b.Reads),
+			name, fmt.Sprint(b.Reads),
 			fmt.Sprintf("%.0f", b.MeanReadUS), fmt.Sprintf("%.0f", s.MeanReadUS),
 			experiments.Pct(red),
 			fmt.Sprintf("%.0f", b.P99ReadUS), fmt.Sprintf("%.0f", s.P99ReadUS),
 		}
-		if fb != nil {
-			f := run(fb)
+		if *useFallback {
+			f := report(byPolicy(i, "fallback"))
 			row = append(row, fmt.Sprintf("%.0f", f.MeanReadUS),
 				fmt.Sprint(f.FallbackReads))
 		}
@@ -267,4 +208,24 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// report extracts a cell's replay summary.
+func report(c scenario.CellResult) *ssdsim.ReportSummary {
+	r, ok := c.Payload.(*scenario.ReplayResult)
+	if !ok {
+		log.Fatalf("cell %s: unexpected payload %T", c.Name, c.Payload)
+	}
+	return &r.Report
+}
+
+// cellName sanitizes a workload or file name into a legal cell name.
+func cellName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', ':', ' ', '\t':
+			return '_'
+		}
+		return r
+	}, name)
 }

@@ -23,9 +23,11 @@ func replayDevice() ssdsim.Config {
 	return cfg
 }
 
-// replaySampler is a synthetic retry-outcome distribution so the
-// measurement exercises the sampler RNG path without building a chip.
-func replaySampler() *ssdsim.EmpiricalSampler {
+// SyntheticSampler is a synthetic TLC retry-outcome distribution that
+// exercises the sampler RNG path without building a chip. The replay
+// throughput measurement uses it, and so do the scenario registry's
+// "synthetic"-policy replay cells (fast enough for CI smoke tiers).
+func SyntheticSampler() *ssdsim.EmpiricalSampler {
 	return &ssdsim.EmpiricalSampler{PerPage: [][]ssdsim.RetryOutcome{
 		{{Retries: 0}, {Retries: 0}, {Retries: 1}},
 		{{Retries: 0}, {Retries: 1}, {Retries: 2}},
@@ -87,7 +89,7 @@ func ReplayThroughput(requests int) (*ReplayThroughputResult, error) {
 	for _, m := range matrix {
 		eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
 			Sim: cfg, Shards: m.shards, CollectLatencies: m.collect, Precondition: true,
-		}, replaySampler())
+		}, SyntheticSampler())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,498 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sentinel3d/internal/charlab"
+	"sentinel3d/internal/experiments"
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/retry"
+	"sentinel3d/internal/ssdsim"
+	"sentinel3d/internal/trace"
+)
+
+// renderer is the shape every experiments result satisfies.
+type renderer interface{ Render() string }
+
+// outcomeOf wraps an experiments result into an Outcome.
+func outcomeOf(r renderer, err error) (*Outcome, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Payload: r, Render: r.Render()}, nil
+}
+
+// figure registers a plain figure experiment.
+func figure(name, desc string, fn func(experiments.Scale) (renderer, error)) {
+	Register(Entry{Name: name, Desc: desc, InAll: true,
+		Run: func(ctx *Ctx) (*Outcome, error) { return outcomeOf(fn(ctx.Scale)) }})
+}
+
+// kindFigure registers a kind-parameterized figure experiment.
+func kindFigure(name, desc string, fn func(experiments.Scale, flash.Kind) (renderer, error)) {
+	Register(Entry{Name: name, Desc: desc, InAll: true, PerKind: true,
+		Run: func(ctx *Ctx) (*Outcome, error) { return outcomeOf(fn(ctx.Scale, ctx.Kind())) }})
+}
+
+// The registration order is the order `-exp all` (and a full matrix
+// run) executes in — it matches the pre-registry CLI dispatch.
+func init() {
+	figure("fig2", "bit errors vs read-voltage offset", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig2ErrorVsOffset(s)
+	})
+	kindFigure("fig3", "per-layer RBER, default vs optimal voltages", func(s experiments.Scale, k flash.Kind) (renderer, error) {
+		return experiments.Fig3LayerRBER(s, k)
+	})
+	figure("fig45", "temperature impact after one hour", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig45Temperature(s)
+	})
+	figure("fig6", "optimal offsets across layers", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig6LayerOptima(s)
+	})
+	Register(Entry{Name: "fig7", Desc: "bit-error position map", InAll: true,
+		Run: func(ctx *Ctx) (*Outcome, error) {
+			r, err := experiments.Fig7ErrorMap(ctx.Scale)
+			if err != nil {
+				return nil, err
+			}
+			// Fig7Result.Map is a nested pointer; digesting the result
+			// itself would hash its heap address. Flatten it.
+			payload := struct {
+				Map               charlab.ErrorMap
+				UniformityChi2    float64
+				WordlineVariation float64
+			}{*r.Map, r.UniformityChi2, r.WordlineVariation}
+			return &Outcome{Payload: payload, Render: r.Render()}, nil
+		}})
+	figure("fig8", "correlation of per-voltage optima", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig8Correlation(s)
+	})
+	kindFigure("fig10", "f(d) fit and inference validation", func(s experiments.Scale, k flash.Kind) (renderer, error) {
+		return experiments.Fig10InferenceFit(s, k)
+	})
+	kindFigure("table1", "prediction error vs sentinel ratio", func(s experiments.Scale, k flash.Kind) (renderer, error) {
+		return experiments.Table1SentinelRatio(s, k)
+	})
+	figure("fig12", "state-change counts around the optimum", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig12StateChange(s)
+	})
+	figure("fig13", "read retries, current flash vs sentinel", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig13RetryCount(s)
+	})
+	Register(Entry{Name: "fig14", Desc: "trace-driven read-latency reduction", InAll: true,
+		Run: func(ctx *Ctx) (*Outcome, error) {
+			return outcomeOf(experiments.Fig14TraceLatency(ctx.Scale, ctx.Requests(6000)))
+		}})
+	kindFigure("errcomp", "per-voltage errors and success rates (figs 15-18)", func(s experiments.Scale, k flash.Kind) (renderer, error) {
+		return experiments.ErrorComparison(s, k)
+	})
+	figure("fig19", "LDPC decoding success", func(s experiments.Scale) (renderer, error) {
+		return experiments.Fig19LDPC(s)
+	})
+	figure("robust", "sentinel corruption sweep (graceful degradation)", func(s experiments.Scale) (renderer, error) {
+		return experiments.CorruptionSweep(s)
+	})
+	figure("ablation-placement", "sentinel placement ablation", func(s experiments.Scale) (renderer, error) {
+		return experiments.AblatePlacement(s, flash.QLC)
+	})
+	figure("ablation-tempbands", "temperature-band ablation", func(s experiments.Scale) (renderer, error) {
+		return experiments.TempBandExperiment(s)
+	})
+	figure("ablation-delta", "calibration-delta ablation", func(s experiments.Scale) (renderer, error) {
+		return experiments.AblateCalibrationDelta(s)
+	})
+	figure("ablation-combined", "combined ablation", func(s experiments.Scale) (renderer, error) {
+		return experiments.AblateCombined(s)
+	})
+	Register(Entry{Name: "replay", Desc: "sharded streaming trace replay under one retry policy",
+		Run: runReplay})
+	Register(Entry{Name: "replay-throughput", Desc: "replay engine scaling table (wall-clock; never golden-gated)",
+		Run: func(ctx *Ctx) (*Outcome, error) {
+			r, err := experiments.ReplayThroughput(ctx.Requests(6000))
+			if err != nil {
+				return nil, err
+			}
+			best := 0.0
+			for _, row := range r.Rows {
+				if row.ReqPerSec > best {
+					best = row.ReqPerSec
+				}
+			}
+			return &Outcome{Payload: r, Render: r.Render(), Volatile: true,
+				Metrics: map[string]float64{"req/s": best}}, nil
+		}})
+	Register(Entry{Name: "charlab", Desc: "chip characterization bench (RBER table, optima, sweeps)",
+		PerKind: true, Run: runCharlab})
+}
+
+// defaultReplayGeometry is the 4-channel device tracesim has always
+// replayed against; cells override it with a DeviceSpec.
+func defaultReplayGeometry() ftl.Geometry {
+	return ftl.Geometry{
+		Channels: 4, ChipsPerChan: 1, DiesPerChip: 2, PlanesPerDie: 2,
+		BlocksPerPlane: 32, PagesPerBlock: 192,
+	}
+}
+
+// chipPrep is the shared preconditioning of chip-backed replay cells:
+// a trained model, an aged evaluation chip, its retry controller and
+// the static-table policy. Cells differing only in policy, workload,
+// shard count or request count share one chipPrep.
+type chipPrep struct {
+	cfg   flash.Config
+	chip  *flash.Chip
+	ctl   *retry.Controller
+	eng   *retrySentinel
+	table *retry.DefaultTablePolicy
+	wls   []int
+}
+
+// retrySentinel bundles the sentinel engine so chipPrep stays a single
+// value in the shared cache.
+type retrySentinel struct{ eng *retry.SentinelPolicy }
+
+// prepKey is the dedup signature of the chip-level preconditioning.
+// The seeds below are fixed (like every experiment's internal seeds),
+// so the signature is a pure function of the declared axes — which is
+// exactly what lets cells share it.
+func prepKey(scale string, kind flash.Kind, pe int, hours float64, f *FaultSpec) string {
+	return fmt.Sprintf("chipprep/%s/%v/pe%d/h%g/%s", scale, kind, pe, hours, f.key())
+}
+
+// replayStress resolves a replay/charlab cell's stress point: PE==0 and
+// Hours==0 mean the tracesim defaults (5000 cycles, one year).
+func replayStress(spec Spec) (int, float64) {
+	pe, hours := spec.PE, spec.Hours
+	if pe == 0 {
+		pe = 5000
+	}
+	if hours == 0 {
+		hours = physics.YearHours
+	}
+	return pe, hours
+}
+
+// buildChipPrep mirrors the tracesim CLI's chip-level setup: train on
+// chip 1, evaluate on an aged chip 2, corrupt the sentinel region when
+// the spec says so. Sampling seeds stay fixed per policy so every cell
+// sharing the prep sees identical distributions.
+func buildChipPrep(ctx *Ctx) (*chipPrep, error) {
+	// Preconditioning is shared across cells, so it must not write to any
+	// single cell's registry.
+	scale := ctx.Scale
+	scale.Obs = nil
+	kind := ctx.Kind()
+	pe, hours := replayStress(ctx.Spec)
+	key := prepKey(scale.Name, kind, pe, hours, ctx.Spec.Fault)
+	v, err := ctx.Shared.Do(key, func() (any, error) {
+		model, err := scale.TrainModel(kind, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := scale.ChipConfig(kind, 2)
+		eng, err := scale.Engine(model, cfg)
+		if err != nil {
+			return nil, err
+		}
+		chip, err := scale.BuildEvalChip(kind, 2, eng, pe, hours)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := scale.Controller(chip, scale.MaxRetries)
+		if err != nil {
+			return nil, err
+		}
+		if inj, err := ctx.Spec.Fault.chipProfile(cfg.UserCells(), cfg.CellsPerWordline,
+			chip.Model().P.StateWidth); err != nil {
+			return nil, err
+		} else if inj != nil {
+			chip.SetFaults(inj)
+		}
+		var wls []int
+		for wl := 0; wl < cfg.WordlinesPerBlock(); wl += 2 {
+			wls = append(wls, wl)
+		}
+		return &chipPrep{
+			cfg: cfg, chip: chip, ctl: ctl,
+			eng:   &retrySentinel{eng: retry.NewSentinelPolicy(eng)},
+			table: retry.NewDefaultTable(chip, scale.TableStep),
+			wls:   wls,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*chipPrep), nil
+}
+
+// samplerFor resolves the cell's retry-outcome sampler, sharing both
+// the chip preconditioning and the per-policy sampling across cells.
+func samplerFor(ctx *Ctx) (*ssdsim.EmpiricalSampler, error) {
+	policy := ctx.Spec.Policy
+	if policy == "" {
+		policy = "sentinel"
+	}
+	if policy == "synthetic" {
+		return experiments.SyntheticSampler(), nil
+	}
+	prep, err := buildChipPrep(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pe, hours := replayStress(ctx.Spec)
+	key := prepKey(ctx.Scale.Name, ctx.Kind(), pe, hours, ctx.Spec.Fault) + "/sampler/" + policy
+	v, err := ctx.Shared.Do(key, func() (any, error) {
+		var pol retry.Policy
+		var seed uint64
+		switch policy {
+		case "table":
+			pol, seed = prep.table, 11
+		case "sentinel":
+			pol, seed = prep.eng.eng, 12
+		case "fallback":
+			fb := retry.NewFallback(prep.eng.eng, prep.table)
+			fb.ProbeBlock(prep.chip, 0, 0)
+			pol, seed = fb, 13
+		default:
+			return nil, fmt.Errorf("scenario: unknown policy %q", policy)
+		}
+		return ssdsim.BuildSampler(prep.ctl, pol, 0, prep.wls, 3, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ssdsim.EmpiricalSampler), nil
+}
+
+// ReplayResult is a replay cell's deterministic payload: the engine's
+// merged report plus the axes that produced it. Wall-clock throughput
+// lives in the cell metrics, never here.
+type ReplayResult struct {
+	Workload string
+	Policy   string
+	Shards   int
+	Report   ssdsim.ReportSummary
+}
+
+// Render prints the replay summary table.
+func (r *ReplayResult) Render() string {
+	rep := &r.Report
+	return experiments.Table(
+		[]string{"workload", "policy", "shards", "reads", "mean µs", "p95", "p99", "uncorr", "fallback", "retired"},
+		[][]string{{
+			r.Workload, r.Policy, fmt.Sprint(r.Shards), fmt.Sprint(rep.Reads),
+			fmt.Sprintf("%.1f", rep.MeanReadUS),
+			fmt.Sprintf("%.1f", rep.P95ReadUS), fmt.Sprintf("%.1f", rep.P99ReadUS),
+			fmt.Sprint(rep.UncorrectableReads), fmt.Sprint(rep.FallbackReads),
+			fmt.Sprint(rep.RetiredBlocks),
+		}})
+}
+
+// runReplay is the scenario-native replay runner: one workload under
+// one retry policy through the sharded streaming engine. The report is
+// deterministic (simulated latencies, shard-order merges), so replay
+// cells golden-gate like figures; wall-clock req/s goes to metrics.
+func runReplay(ctx *Ctx) (*Outcome, error) {
+	spec := ctx.Spec
+	sampler, err := samplerFor(ctx)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := ssdsim.DefaultConfig()
+	simCfg.Geo = spec.Device.Geometry(defaultReplayGeometry())
+	simCfg.Seed = ctx.Seed
+	if spec.Policy != "" && spec.Policy != "synthetic" {
+		simCfg.Bits = ctx.Kind().Bits()
+	}
+	if pef, err := spec.Fault.ftlFaults(); err != nil {
+		return nil, err
+	} else if pef != nil {
+		simCfg.PEFaults = pef
+	}
+	shards := spec.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	var reg = ctx.Obs
+	if reg != nil && reg.Shards() < shards {
+		// A CLI-level registry narrower than the cell's shard count
+		// cannot hold per-shard cells; run uninstrumented rather than
+		// failing the cell.
+		reg = nil
+	}
+	requests := ctx.Requests(6000)
+	var open trace.Opener
+	workload := spec.Workload
+	switch {
+	case spec.TraceFile != "":
+		workload = spec.TraceFile
+		open = trace.FileOpener(spec.TraceFile)
+	default:
+		if workload == "" {
+			workload = "hm_0"
+		}
+		ws, err := trace.WorkloadByName(workload)
+		if err != nil {
+			return nil, err
+		}
+		ws.WorkingSetPages = int64(simCfg.Geo.PagesTotal()) * 6 / 10
+		open = trace.GeneratorOpener(ws, requests, mathx.Mix(ctx.Seed, 0x7ace))
+	}
+	eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
+		Sim: simCfg, Shards: shards,
+		CollectLatencies: spec.Collect, Precondition: true,
+		Metrics: reg,
+	}, sampler)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := eng.Replay(open)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	policy := spec.Policy
+	if policy == "" {
+		policy = "sentinel"
+	}
+	res := &ReplayResult{Workload: workload, Policy: policy, Shards: shards, Report: rep.Summary()}
+	metrics := map[string]float64{
+		"req/s":   float64(rep.Requests) / wall,
+		"mean-us": rep.MeanReadUS,
+	}
+	if sampler != nil && policy != "synthetic" {
+		metrics["msb-retries"] = sampler.MeanRetries(ctx.Kind().Bits() - 1)
+	}
+	if reg != nil {
+		snap := reg.Snapshot().Deterministic()
+		metrics["obs-series"] = float64(len(snap.Counters) + len(snap.Hists))
+	}
+	return &Outcome{Payload: res, Render: res.Render(), Metrics: metrics}, nil
+}
+
+// runCharlab is the flashlab CLI's engine: program, age and
+// characterize a block, rendering the per-wordline RBER/optima table
+// and an optional error-vs-offset sweep.
+func runCharlab(ctx *Ctx) (*Outcome, error) {
+	spec := ctx.Spec
+	kind := ctx.Kind()
+	scale := ctx.Scale
+	seed := ctx.Seed
+	cfg := scale.ChipConfig(kind, seed)
+	chip, err := flash.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := spec.Wordlines
+	if n <= 0 {
+		n = 8
+	}
+	if n > cfg.WordlinesPerBlock() {
+		n = cfg.WordlinesPerBlock()
+	}
+	wls := make([]int, n)
+	for i := range wls {
+		wls[i] = i * cfg.WordlinesPerBlock() / n
+	}
+	// Per-wordline RNG streams keyed by index: identical data at any
+	// worker count (the flashlab contract since PR 1).
+	parallel.ForEach(len(wls), func(i int) {
+		rng := mathx.NewRand(mathx.Mix(seed^0xf1a5, uint64(wls[i])))
+		chip.ProgramRandom(0, wls[i], rng)
+	})
+	pe := spec.PE
+	hours := spec.Hours
+	if hours == 0 {
+		hours = 8760
+	}
+	temp := spec.TempC
+	if temp == 0 {
+		temp = physics.RoomTempC
+	}
+	chip.Cycle(0, pe)
+	chip.Age(0, hours, temp)
+
+	if inj, err := spec.Fault.chipProfile(cfg.UserCells(), cfg.CellsPerWordline,
+		chip.Model().P.StateWidth); err != nil {
+		return nil, err
+	} else if inj != nil {
+		chip.SetFaults(inj)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip: %v, %d layers x %d WL/layer, %d cells/WL, seed %d\n",
+		kind, cfg.Layers, cfg.WordlinesPerLayer, cfg.CellsPerWordline, seed)
+	fmt.Fprintf(&b, "stress: %d P/E cycles, %.0f h at %.0f C (%.0f effective room-temp hours)\n\n",
+		pe, hours, temp, chip.Stress(0).EffRetentionHours)
+
+	// Bench-level instrumentation, nil-safe when the cell carries no
+	// registry: what was measured and the RBER spread.
+	set := ctx.Obs.Set(0)
+	wlMeasured := set.Counter("flashlab.wordlines", "wordlines characterized")
+	rberHist := set.Hist("flashlab.page_rber", "raw bit error rate per page measurement")
+	sweepPoints := set.Counter("flashlab.sweep_points", "error-vs-offset sweep points evaluated")
+
+	lab := charlab.New(chip)
+	header := []string{"wordline", "layer"}
+	for p := 0; p < kind.Bits(); p++ {
+		header = append(header, chip.Coding().PageName(p)+" RBER")
+	}
+	header = append(header, "MSB RBER@opt", "Vsent opt")
+	sv := chip.Coding().SentinelVoltage()
+	var rberSum float64
+	var rberN int
+	rows := parallel.Map(len(wls), func(i int) []string {
+		wl := wls[i]
+		wlMeasured.Inc()
+		row := []string{fmt.Sprint(wl), fmt.Sprint(chip.LayerOf(wl))}
+		for p := 0; p < kind.Bits(); p++ {
+			rber := lab.PageRBER(0, wl, p, nil)
+			rberHist.Observe(rber)
+			row = append(row, fmt.Sprintf("%.3g", rber))
+		}
+		opt := lab.OptimalOffsets(0, wl)
+		return append(row,
+			fmt.Sprintf("%.3g", lab.PageRBER(0, wl, kind.Bits()-1, opt)),
+			fmt.Sprintf("%.1f", opt.Get(sv)))
+	})
+	for _, row := range rows {
+		for p := 0; p < kind.Bits(); p++ {
+			var v float64
+			fmt.Sscanf(row[2+p], "%g", &v)
+			rberSum += v
+			rberN++
+		}
+	}
+	b.WriteString(experiments.Table(header, rows))
+
+	if spec.SweepV > 0 {
+		if spec.SweepV > chip.Coding().NumVoltages() {
+			return nil, fmt.Errorf("scenario: voltage V%d out of range (max V%d)",
+				spec.SweepV, chip.Coding().NumVoltages())
+		}
+		fmt.Fprintf(&b, "\nerror-vs-offset sweep of V%d on wordline %d:\n", spec.SweepV, wls[0])
+		offs, errs := lab.SweepCurve(0, wls[0], spec.SweepV)
+		sweepPoints.Add(int64(len(offs)))
+		_, hi := mathx.MinMax(errs)
+		for i, o := range offs {
+			if int(o)%4 != 0 {
+				continue
+			}
+			bar := int(errs[i] / (hi + 1) * 60)
+			fmt.Fprintf(&b, "%6.0f %7.0f %s\n", o, errs[i], strings.Repeat("#", bar))
+		}
+	}
+	out := b.String()
+	metrics := map[string]float64{"wordlines": float64(len(wls))}
+	if rberN > 0 {
+		metrics["mean-rber"] = rberSum / float64(rberN)
+	}
+	return &Outcome{Payload: out, Render: out, Metrics: metrics}, nil
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"runtime"
+	"testing"
+
+	"sentinel3d/internal/parallel"
+)
+
+// TestMatrixWorkerDeterminism pins the matrix-level determinism
+// contract: the full per-cell fingerprint (names, seeds, digests,
+// renders) is byte-identical whether the matrix runs on one worker or
+// many. This is what lets CI shard the smoke matrix across jobs and
+// still gate against one set of golden digests.
+func TestMatrixWorkerDeterminism(t *testing.T) {
+	m := syntheticMatrix()
+	run := func(workers int) string {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		res, err := Run(m, RunOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res.Fingerprint()
+	}
+	one := run(1)
+	many := run(runtime.GOMAXPROCS(0))
+	if one != many {
+		t.Errorf("matrix fingerprint differs between 1 and %d workers:\n%q\n%q",
+			runtime.GOMAXPROCS(0), one, many)
+	}
+	// And re-running at the same width is a fixpoint too.
+	if again := run(1); again != one {
+		t.Errorf("matrix fingerprint differs between reruns at 1 worker")
+	}
+}
+
+// TestCellObsDeterminism asserts instrumentation does not perturb
+// results: a cell run with per-cell metrics enabled digests identically
+// to the same cell uninstrumented.
+func TestCellObsDeterminism(t *testing.T) {
+	base := Spec{Name: "c", Experiment: "replay", Policy: "synthetic",
+		Workload: "hm_0", Requests: 2000, Shards: 2, Seed: 99}
+	plain, err := RunCell(base, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsd := base
+	obsd.Obs = ObsSpec{Metrics: true, SlowN: 4}
+	inst, err := RunCell(obsd, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Digest != inst.Digest {
+		t.Errorf("obs changed the digest: %s vs %s", plain.Digest, inst.Digest)
+	}
+	if inst.Metrics["obs-series"] <= 0 {
+		t.Errorf("instrumented cell exported no obs series: %v", inst.Metrics)
+	}
+}

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCommittedMatrices guards the files under scenarios/: every
+// committed matrix must parse strictly, expand into validated cells,
+// and reference only known cells from its golden map. (Running them is
+// the scenario-matrix CI job's business, not this test's.)
+func TestCommittedMatrices(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("found %d committed matrices, want at least paper+smoke", len(paths))
+	}
+	for _, path := range paths {
+		m, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		cells, err := m.Expand()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if len(cells) == 0 {
+			t.Errorf("%s: expands to no cells", path)
+		}
+		if len(m.Golden) == 0 {
+			t.Errorf("%s: carries no golden digests", path)
+		}
+	}
+	// The paper matrix must keep covering the full `-exp all` set: every
+	// InAll registry entry appears as some cell's experiment.
+	m, err := Load(filepath.Join("..", "..", "scenarios", "paper.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, c := range cells {
+		have[c.Experiment] = true
+	}
+	for _, e := range Entries() {
+		if e.InAll && !have[e.Name] {
+			t.Errorf("paper.json misses -exp all experiment %q", e.Name)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package scenario
+
+import "testing"
+
+// TestGoldenParity asserts the registry path produces byte-identical
+// payloads to the pre-registry experiment functions: the digests here
+// are the same constants internal/experiments/golden_test.go has pinned
+// since before the scenario layer existed. If these break, the rewiring
+// changed results — a bug, never a re-record.
+func TestGoldenParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden experiments are slow; skipped in -short")
+	}
+	for _, tc := range []struct{ exp, want string }{
+		{"fig2", "ef6135903f7b556c"},
+		{"fig13", "30d208461a899976"},
+	} {
+		res, err := RunCell(Spec{Name: tc.exp, Experiment: tc.exp, Scale: "quick"}, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Digest != tc.want {
+			t.Errorf("%s digest %s, want %s", tc.exp, res.Digest, tc.want)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"sentinel3d/internal/obs"
+	"sentinel3d/internal/parallel"
+)
+
+// Digest hashes a deterministic result value exactly the way the golden
+// regression tests always have: sha256 over the %v rendering, first 8
+// bytes, hex. The read stack promises byte-identical results across
+// refactors and worker counts, so a digest change is a bug (or a
+// knowingly re-recorded golden), never noise.
+func Digest(v any) string {
+	d := sha256.Sum256([]byte(fmt.Sprintf("%v", v)))
+	return fmt.Sprintf("%x", d[:8])
+}
+
+// RunOptions parameterizes a matrix run.
+type RunOptions struct {
+	// Filter keeps only cells whose name matches (nil = every cell) —
+	// the CI cell groups slice the smoke matrix with it.
+	Filter *regexp.Regexp
+	// Obs, when non-nil, is a CLI-level registry shared by every cell
+	// (the -metrics / -debug-addr flags). It supersedes per-spec
+	// registries; replay cells attach it only when it holds enough
+	// shards.
+	Obs *obs.Registry
+	// ResultsDir, when non-empty, receives one <cell>.json per cell plus
+	// a matrix.json summary.
+	ResultsDir string
+	// BenchWriter, when non-nil, receives one go-bench-format line per
+	// cell ("Benchmark<name> 1 <wall-ns> ns/op <metrics>...") so
+	// cmd/benchjson can parse, compare and gate the run.
+	BenchWriter io.Writer
+	// KeepPayload retains each cell's raw result value on CellResult for
+	// in-process front-ends (tracesim's comparison table); the payload is
+	// never serialized.
+	KeepPayload bool
+}
+
+// CellResult is one cell's machine-readable outcome.
+type CellResult struct {
+	Name       string             `json:"name"`
+	Experiment string             `json:"experiment"`
+	Scale      string             `json:"scale,omitempty"`
+	Seed       uint64             `json:"seed"`
+	Seconds    float64            `json:"seconds"`
+	Digest     string             `json:"digest,omitempty"`
+	Golden     string             `json:"golden,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Render     string             `json:"render,omitempty"`
+	Err        string             `json:"error,omitempty"`
+	// Payload is the raw result value, populated only under
+	// RunOptions.KeepPayload; it never reaches the JSON artifacts.
+	Payload any `json:"-"`
+}
+
+// MatrixResult is the whole run's summary.
+type MatrixResult struct {
+	Matrix string       `json:"matrix"`
+	Cells  []CellResult `json:"cells"`
+	// PrecondExecutions counts the shared-preconditioning builders that
+	// actually ran — at most the number of distinct signatures, however
+	// many cells share them.
+	PrecondExecutions int64 `json:"precond_executions"`
+}
+
+// Fingerprint concatenates every deterministic per-cell field. Two runs
+// of the same matrix must produce byte-identical fingerprints at any
+// worker count; the determinism regression asserts exactly that.
+func (m *MatrixResult) Fingerprint() string {
+	var b strings.Builder
+	for _, c := range m.Cells {
+		fmt.Fprintf(&b, "%s\x00%s\x00%d\x00%s\x00%s\x00%s\x1e",
+			c.Name, c.Experiment, c.Seed, c.Digest, c.Render, c.Err)
+	}
+	return b.String()
+}
+
+// Failed lists the cells that errored (including golden mismatches).
+func (m *MatrixResult) Failed() []CellResult {
+	var out []CellResult
+	for _, c := range m.Cells {
+		if c.Err != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Run expands the matrix and executes every (filtered) cell: unpinned
+// cells fan out through internal/parallel (each is internally parallel
+// too — the pool just sees more work), cells that pin a worker count
+// run serially afterwards under their override. Cell failures — runner
+// errors and golden-digest mismatches alike — never stop other cells;
+// they are accumulated into the returned error, BASIL-style, so one
+// broken cell cannot hide the rest of the matrix.
+func Run(m *Matrix, opts RunOptions) (*MatrixResult, error) {
+	cells, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Filter != nil {
+		kept := cells[:0:0]
+		for _, c := range cells {
+			if opts.Filter.MatchString(c.Name) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("scenario: matrix %q: no cell matches %q", m.Name, opts.Filter)
+		}
+		cells = kept
+	}
+	shared := NewShared()
+	results := make([]CellResult, len(cells))
+	var pinned []int
+	var auto []int
+	for i, c := range cells {
+		if c.Workers > 0 {
+			pinned = append(pinned, i)
+		} else {
+			auto = append(auto, i)
+		}
+	}
+	parallel.ForEach(len(auto), func(j int) {
+		i := auto[j]
+		results[i] = runCell(cells[i], shared, opts)
+	})
+	for _, i := range pinned {
+		prev := parallel.SetWorkers(cells[i].Workers)
+		results[i] = runCell(cells[i], shared, opts)
+		parallel.SetWorkers(prev)
+	}
+	res := &MatrixResult{Matrix: m.Name, Cells: results,
+		PrecondExecutions: shared.Executions()}
+	var errs []error
+	for _, c := range results {
+		if c.Err != "" {
+			errs = append(errs, fmt.Errorf("cell %s: %s", c.Name, c.Err))
+		}
+	}
+	if err := emit(res, opts); err != nil {
+		errs = append(errs, err)
+	}
+	return res, errors.Join(errs...)
+}
+
+// RunCell executes a single spec outside any matrix — the thin CLI
+// front-ends use it. The spec must carry its own seed or rely on the
+// runner default (SplitSeed(1, name)).
+func RunCell(spec Spec, opts RunOptions) (CellResult, error) {
+	if spec.Name == "" {
+		spec.Name = spec.Experiment
+	}
+	if spec.Seed == 0 {
+		spec.Seed = SplitSeed(1, spec.Name)
+	}
+	if err := spec.Validate(); err != nil {
+		return CellResult{Name: spec.Name, Err: err.Error()}, err
+	}
+	res := runCell(spec, NewShared(), opts)
+	if res.Err != "" {
+		return res, fmt.Errorf("cell %s: %s", res.Name, res.Err)
+	}
+	return res, nil
+}
+
+// runCell executes one validated cell and converts its outcome.
+func runCell(spec Spec, shared *Shared, opts RunOptions) CellResult {
+	cliReg := opts.Obs
+	out := CellResult{
+		Name:       spec.Name,
+		Experiment: spec.Experiment,
+		Scale:      spec.Scale,
+		Seed:       spec.Seed,
+		Golden:     spec.Golden,
+	}
+	entry, err := Lookup(spec.Experiment)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	reg := cliReg
+	if reg == nil && spec.Obs.Metrics {
+		shards := spec.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		reg = obs.NewRegistry(shards)
+		if spec.Obs.SlowN > 0 {
+			reg.KeepSlowest(spec.Obs.SlowN)
+		}
+	}
+	scale, err := resolveScale(spec, reg)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	ctx := &Ctx{Spec: spec, Scale: scale, Seed: spec.Seed, Obs: reg, Shared: shared}
+	start := time.Now()
+	oc, err := entry.Run(ctx)
+	out.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Render = oc.Render
+	out.Metrics = oc.Metrics
+	if opts.KeepPayload {
+		out.Payload = oc.Payload
+	}
+	switch {
+	case oc.Volatile:
+		if spec.Golden != "" {
+			out.Err = fmt.Sprintf("golden digest on volatile experiment %q", spec.Experiment)
+		}
+	default:
+		out.Digest = Digest(oc.Payload)
+		if spec.Golden != "" && out.Digest != spec.Golden {
+			out.Err = fmt.Sprintf("golden mismatch: digest %s, want %s", out.Digest, spec.Golden)
+		}
+	}
+	return out
+}
+
+// emit writes the per-cell JSON results, the matrix summary and the
+// bench-format lines.
+func emit(res *MatrixResult, opts RunOptions) error {
+	if opts.BenchWriter != nil {
+		for _, c := range res.Cells {
+			if c.Err != "" && c.Digest == "" {
+				continue // cell never produced a result
+			}
+			fmt.Fprintf(opts.BenchWriter, "Benchmark%s \t 1 \t %.0f ns/op", c.Name, c.Seconds*1e9)
+			units := make([]string, 0, len(c.Metrics))
+			for u := range c.Metrics {
+				units = append(units, u)
+			}
+			sort.Strings(units)
+			for _, u := range units {
+				fmt.Fprintf(opts.BenchWriter, " %g %s", c.Metrics[u], u)
+			}
+			fmt.Fprintln(opts.BenchWriter)
+		}
+	}
+	if opts.ResultsDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(opts.ResultsDir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		data, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(opts.ResultsDir, c.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(opts.ResultsDir, "matrix.json"),
+		append(data, '\n'), 0o644)
+}

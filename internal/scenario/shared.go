@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Shared dedupes expensive preconditioning across the cells of one
+// matrix run: training a sentinel model, building and aging an
+// evaluation chip, and sampling per-policy retry distributions are
+// deterministic in their inputs and dominate cell setup time, so cells
+// whose signatures agree share one execution instead of repeating it.
+//
+// Do is safe for concurrent callers (the matrix runner fans cells out
+// through internal/parallel); each key's builder runs exactly once and
+// its value — or its error — is returned to every caller.
+type Shared struct {
+	mu      sync.Mutex
+	entries map[string]*sharedEntry
+	execs   atomic.Int64
+}
+
+type sharedEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewShared returns an empty cache.
+func NewShared() *Shared { return &Shared{entries: map[string]*sharedEntry{}} }
+
+// Do returns the cached value for key, running build at most once per
+// key across all goroutines. Errors are cached too: a failed
+// precondition fails every cell that shares it, identically.
+func (s *Shared) Do(key string, build func() (any, error)) (any, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &sharedEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		s.execs.Add(1)
+		e.val, e.err = build()
+	})
+	return e.val, e.err
+}
+
+// Executions reports how many distinct builders actually ran — the
+// dedup test asserts this stays at the number of distinct signatures,
+// not the number of cells.
+func (s *Shared) Executions() int64 { return s.execs.Load() }

@@ -1,0 +1,270 @@
+// Package scenario is the declarative experiment layer: every run the
+// CLIs used to wire by hand through flags — paper figures, robustness
+// sweeps, trace replays, characterization benches — is described by a
+// Spec (one struct/JSON object per cell naming the experiment, policy,
+// workload, fault profile, device geometry, shard/worker count and obs
+// settings), looked up in a registry of runners, and executed by a
+// matrix runner that expands sweeps into cells, dedupes shared
+// preconditioning, fans cells out through internal/parallel with
+// deterministic per-cell seed splitting, and emits one machine-readable
+// result (benchjson-compatible metrics plus a golden digest) per cell.
+//
+// The committed matrices live under scenarios/ at the repository root;
+// `reproduce -matrix scenarios/paper.json` regenerates the EXPERIMENTS.md
+// results with one command, and CI runs the smoke tier cell-group by
+// cell-group (see DESIGN.md §10).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel3d/internal/fault"
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/trace"
+)
+
+// Spec declares one experiment cell. The zero value of every optional
+// field means "the registry entry's default", so a minimal cell is just
+// {"name": "fig13", "experiment": "fig13"}. Unknown JSON fields are
+// rejected by the loader — a typoed axis must fail loudly, not silently
+// run the default.
+type Spec struct {
+	// Name uniquely identifies the cell inside its matrix. It doubles as
+	// the benchmark name in the benchjson-compatible output, so it must
+	// be non-empty and contain no whitespace, '/' or ':' (those are
+	// bench-line and gate-expression metacharacters).
+	Name string `json:"name"`
+	// Experiment is the registry entry that runs the cell (fig2..fig19,
+	// table1, robust, replay, replay-throughput, charlab, ...). See
+	// Names() for the full list.
+	Experiment string `json:"experiment"`
+	// Scale is "quick" (default) or "full" — the fidelity/runtime
+	// trade-off of experiments.Scale.
+	Scale string `json:"scale,omitempty"`
+	// Kind is the cell technology for kind-parameterized experiments:
+	// "tlc" (default) or "qlc".
+	Kind string `json:"kind,omitempty"`
+	// Policy selects the retry policy of replay cells: "table",
+	// "sentinel" (default), "fallback" (sentinel wrapped in the static-
+	// table guard) or "synthetic" (a fixed outcome distribution; no chip
+	// is built, so the cell is fast enough for smoke tiers).
+	Policy string `json:"policy,omitempty"`
+	// Workload names a built-in MSR-like workload (trace.WorkloadByName)
+	// for replay cells; TraceFile overrides it with an MSR-format CSV.
+	Workload  string `json:"workload,omitempty"`
+	TraceFile string `json:"trace_file,omitempty"`
+	// Requests bounds generated traces (default 6000).
+	Requests int `json:"requests,omitempty"`
+	// Shards is the replay engine's device shard count (default 1). It
+	// must divide the device's channel count.
+	Shards int `json:"shards,omitempty"`
+	// Workers pins the worker pool for this cell. 0 (the default)
+	// inherits the global pool — results are byte-identical either way;
+	// pinning only matters for throughput measurements, and pinned cells
+	// run serially after the fanned-out ones so the override cannot leak
+	// into concurrent cells.
+	Workers int `json:"workers,omitempty"`
+	// Seed overrides the cell's derived seed (0 = split from the matrix
+	// seed and the cell name; see Matrix.Expand).
+	Seed uint64 `json:"seed,omitempty"`
+	// PE and Hours set the stress point of chip-backed replay and
+	// charlab cells (defaults 5000 P/E, one year).
+	PE    int     `json:"pe,omitempty"`
+	Hours float64 `json:"hours,omitempty"`
+	// TempC is the retention temperature of charlab cells (default 25).
+	TempC float64 `json:"temp_c,omitempty"`
+	// Wordlines and SweepV parameterize charlab cells: how many
+	// wordlines to characterize and which read voltage (1-based) to
+	// sweep (0 = none).
+	Wordlines int `json:"wordlines,omitempty"`
+	SweepV    int `json:"sweep_v,omitempty"`
+	// Collect switches replay cells to exact-percentile latency
+	// collection (the engine's CollectLatencies mode).
+	Collect bool `json:"collect,omitempty"`
+	// Device overrides the replay device geometry.
+	Device *DeviceSpec `json:"device,omitempty"`
+	// Fault injects deterministic faults (chip-level sentinel corruption
+	// and sense noise, FTL program/erase failures).
+	Fault *FaultSpec `json:"fault,omitempty"`
+	// Obs attaches an observability registry to the cell.
+	Obs ObsSpec `json:"obs,omitempty"`
+	// Golden is the expected result digest. When non-empty the runner
+	// fails the cell on any divergence — the same byte-identity contract
+	// the read kernel's golden tests enforce.
+	Golden string `json:"golden,omitempty"`
+}
+
+// DeviceSpec is the JSON shape of an ftl.Geometry override.
+type DeviceSpec struct {
+	Channels       int `json:"channels"`
+	ChipsPerChan   int `json:"chips_per_chan,omitempty"`
+	DiesPerChip    int `json:"dies_per_chip,omitempty"`
+	PlanesPerDie   int `json:"planes_per_die,omitempty"`
+	BlocksPerPlane int `json:"blocks_per_plane,omitempty"`
+	PagesPerBlock  int `json:"pages_per_block,omitempty"`
+}
+
+// Geometry converts the spec to an ftl.Geometry, filling unset fields
+// from the base geometry.
+func (d *DeviceSpec) Geometry(base ftl.Geometry) ftl.Geometry {
+	if d == nil {
+		return base
+	}
+	g := base
+	set := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	set(&g.Channels, d.Channels)
+	set(&g.ChipsPerChan, d.ChipsPerChan)
+	set(&g.DiesPerChip, d.DiesPerChip)
+	set(&g.PlanesPerDie, d.PlanesPerDie)
+	set(&g.BlocksPerPlane, d.BlocksPerPlane)
+	set(&g.PagesPerBlock, d.PagesPerBlock)
+	return g
+}
+
+// FaultSpec is the JSON shape of a fault.Profile. The sentinel-region
+// bounds are resolved by the runner from the cell's chip configuration
+// (the OOB tail), so the spec only carries rates.
+type FaultSpec struct {
+	// Seed keys every fault decision (default 0xfa17, the CLI default).
+	Seed uint64 `json:"seed,omitempty"`
+	// StuckRate is the per-cell probability that an OOB (sentinel-
+	// region) cell is stuck; StuckHighFraction of those pin above the
+	// window (default 1).
+	StuckRate         float64 `json:"stuck_rate,omitempty"`
+	StuckHighFraction float64 `json:"stuck_high_fraction,omitempty"`
+	// OutlierWLRate / BurstRate are chip-level anomaly probabilities
+	// (see fault.Profile).
+	OutlierWLRate float64 `json:"outlier_wl_rate,omitempty"`
+	BurstRate     float64 `json:"burst_rate,omitempty"`
+	// ProgramFailRate is the FTL page-program failure probability;
+	// EraseFailRate defaults to 4x it, matching the tracesim CLI.
+	ProgramFailRate float64 `json:"program_fail_rate,omitempty"`
+	EraseFailRate   float64 `json:"erase_fail_rate,omitempty"`
+}
+
+// chipProfile builds the chip-level fault profile for a sentinel region
+// spanning [start, end) cells, with shift magnitudes scaled by the
+// state width sw. Nil when the spec carries no chip-level faults.
+func (f *FaultSpec) chipProfile(start, end int, sw float64) (*fault.Injector, error) {
+	if f == nil || (f.StuckRate == 0 && f.OutlierWLRate == 0 && f.BurstRate == 0) {
+		return nil, nil
+	}
+	hi := f.StuckHighFraction
+	if hi == 0 {
+		hi = 1
+	}
+	return fault.New(fault.Profile{
+		Seed:              f.seed(),
+		SentinelStuckRate: f.StuckRate,
+		SentinelRegion:    [2]int{start, end},
+		StuckHighFraction: hi,
+		OutlierWLRate:     f.OutlierWLRate,
+		OutlierShift:      0.5 * sw,
+		BurstRate:         f.BurstRate,
+		BurstSigma:        0.25 * sw,
+	})
+}
+
+// ftlFaults builds the FTL program/erase fault model (nil when unused).
+func (f *FaultSpec) ftlFaults() (ftl.PEFaultModel, error) {
+	if f == nil || (f.ProgramFailRate == 0 && f.EraseFailRate == 0) {
+		return nil, nil
+	}
+	erase := f.EraseFailRate
+	if erase == 0 {
+		erase = 4 * f.ProgramFailRate
+	}
+	return fault.New(fault.Profile{
+		Seed:               f.seed(),
+		FTLProgramFailRate: f.ProgramFailRate,
+		FTLEraseFailRate:   erase,
+	})
+}
+
+func (f *FaultSpec) seed() uint64 {
+	if f.Seed != 0 {
+		return f.Seed
+	}
+	return 0xfa17
+}
+
+// key returns the dedup-signature fragment of the fault spec.
+func (f *FaultSpec) key() string {
+	if f == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%g/%g/%g/%g/%g/%g", f.seed(), f.StuckRate,
+		f.StuckHighFraction, f.OutlierWLRate, f.BurstRate,
+		f.ProgramFailRate, f.EraseFailRate)
+}
+
+// ObsSpec declares the cell's observability settings.
+type ObsSpec struct {
+	// Metrics attaches an obs registry (sharded to match the cell's
+	// shard count) and reports its deterministic snapshot size in the
+	// cell metrics.
+	Metrics bool `json:"metrics,omitempty"`
+	// SlowN is the per-shard slow-read ring size (default 0 = off).
+	SlowN int `json:"slow_n,omitempty"`
+}
+
+// Validate checks the spec against the registry. It is called by the
+// loader for every expanded cell, so a committed scenario file cannot
+// name an experiment, workload, policy or kind that does not exist.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: cell with empty name (experiment %q)", s.Experiment)
+	}
+	if strings.ContainsAny(s.Name, " \t\n/:") {
+		return fmt.Errorf("scenario: cell name %q contains whitespace, '/' or ':'", s.Name)
+	}
+	if _, err := Lookup(s.Experiment); err != nil {
+		return fmt.Errorf("scenario: cell %q: %w", s.Name, err)
+	}
+	switch s.Scale {
+	case "", "quick", "full":
+	default:
+		return fmt.Errorf("scenario: cell %q: unknown scale %q", s.Name, s.Scale)
+	}
+	switch s.Kind {
+	case "", "tlc", "qlc":
+	default:
+		return fmt.Errorf("scenario: cell %q: unknown kind %q", s.Name, s.Kind)
+	}
+	switch s.Policy {
+	case "", "table", "sentinel", "fallback", "synthetic":
+	default:
+		return fmt.Errorf("scenario: cell %q: unknown policy %q", s.Name, s.Policy)
+	}
+	if s.Workload != "" {
+		if _, err := trace.WorkloadByName(s.Workload); err != nil {
+			return fmt.Errorf("scenario: cell %q: %w", s.Name, err)
+		}
+	}
+	if s.Requests < 0 || s.Shards < 0 || s.Workers < 0 || s.PE < 0 ||
+		s.Hours < 0 || s.Wordlines < 0 || s.SweepV < 0 || s.Obs.SlowN < 0 {
+		return fmt.Errorf("scenario: cell %q: negative count", s.Name)
+	}
+	if f := s.Fault; f != nil {
+		for _, r := range []float64{f.StuckRate, f.StuckHighFraction,
+			f.OutlierWLRate, f.BurstRate, f.ProgramFailRate, f.EraseFailRate} {
+			if r < 0 || r > 1 {
+				return fmt.Errorf("scenario: cell %q: fault rate %g outside [0,1]", s.Name, r)
+			}
+		}
+	}
+	if d := s.Device; d != nil {
+		for _, n := range []int{d.Channels, d.ChipsPerChan, d.DiesPerChip,
+			d.PlanesPerDie, d.BlocksPerPlane, d.PagesPerBlock} {
+			if n < 0 {
+				return fmt.Errorf("scenario: cell %q: negative device dimension", s.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -262,6 +262,50 @@ type Report struct {
 	writeSum float64
 }
 
+// ReportSummary is the exported, deterministic view of a Report: the
+// statistics, without the accumulator internals. Golden digests hash
+// the %v rendering of result payloads, so payloads must not reach the
+// Report struct itself — its unexported histogram pointer would print
+// as a heap address and change every run.
+type ReportSummary struct {
+	Requests           int
+	Reads              int
+	Writes             int
+	ReadLatencies      []float64
+	MeanReadUS         float64
+	P95ReadUS          float64
+	P99ReadUS          float64
+	MeanWriteUS        float64
+	TotalRetries       int64
+	GCWrites           int64
+	UncorrectableReads int64
+	FallbackReads      int64
+	RetiredBlocks      int64
+	UnmappedReads      int64
+	ReorderedArrivals  int64
+}
+
+// Summary extracts the deterministic statistics view.
+func (r *Report) Summary() ReportSummary {
+	return ReportSummary{
+		Requests:           r.Requests,
+		Reads:              r.Reads,
+		Writes:             r.Writes,
+		ReadLatencies:      r.ReadLatencies,
+		MeanReadUS:         r.MeanReadUS,
+		P95ReadUS:          r.P95ReadUS,
+		P99ReadUS:          r.P99ReadUS,
+		MeanWriteUS:        r.MeanWriteUS,
+		TotalRetries:       r.TotalRetries,
+		GCWrites:           r.GCWrites,
+		UncorrectableReads: r.UncorrectableReads,
+		FallbackReads:      r.FallbackReads,
+		RetiredBlocks:      r.RetiredBlocks,
+		UnmappedReads:      r.UnmappedReads,
+		ReorderedArrivals:  r.ReorderedArrivals,
+	}
+}
+
 // recordRead accounts one completed read request.
 func (r *Report) recordRead(lat float64) {
 	r.Reads++
