@@ -1,0 +1,154 @@
+// Command flashbench load-tests a running flashd: closed-loop (fixed
+// per-tenant request quotas over a fixed worker pool — deterministic,
+// the report's non-wall-clock section is byte-identical under a fixed
+// seed) or open-loop (arrival-rate driven with ramp phases — the
+// overload/soak mode). The final per-tenant report carries achieved
+// rps, latency percentiles, SLO violations, and shed/degraded/fallback
+// counts; flashbench exits nonzero when the status accounting identity
+// does not hold.
+//
+// Quickstart:
+//
+//	flashd -no-limits &
+//	flashbench -requests 2000 -det-report report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"sentinel3d/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flashbench:", err)
+		os.Exit(1)
+	}
+}
+
+func defaultBenchTenants(workers int, requests int64, rate float64) []serve.BenchTenant {
+	return []serve.BenchTenant{
+		{Name: "gold", Workers: workers, Requests: requests, RateRPS: 4 * rate, SLOMs: 20},
+		{Name: "silver", Workers: workers, Requests: requests, RateRPS: 2 * rate, SLOMs: 50},
+		{Name: "bronze", Workers: workers, Requests: requests, RateRPS: rate, SLOMs: 200},
+	}
+}
+
+// parseRamp parses "2s:0.5,4s:1,2s:2" into load phases.
+func parseRamp(s string) ([]serve.LoadPhase, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var phases []serve.LoadPhase
+	for _, part := range strings.Split(s, ",") {
+		dur, scale, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("ramp phase %q is not duration:scale", part)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil {
+			return nil, fmt.Errorf("ramp phase %q: %w", part, err)
+		}
+		var sc float64
+		if _, err := fmt.Sscanf(scale, "%g", &sc); err != nil || sc <= 0 {
+			return nil, fmt.Errorf("ramp phase %q: bad scale", part)
+		}
+		phases = append(phases, serve.LoadPhase{Duration: d, RateScale: sc})
+	}
+	return phases, nil
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "flashd base URL")
+		seed     = flag.Uint64("seed", 1, "arrival-stream seed")
+		mode     = flag.String("mode", "closed", "closed | open")
+		duration = flag.Duration("duration", 5*time.Second, "open-loop run length")
+		ramp     = flag.String("ramp", "", "open-loop ramp phases, e.g. 2s:0.5,4s:1,2s:2")
+		maxLPN   = flag.Int64("maxlpn", 50000, "LPN draw bound (match flashd's premap)")
+		workers  = flag.Int("workers", 4, "closed-loop workers per tenant")
+		requests = flag.Int64("requests", 1000, "closed-loop requests per tenant")
+		rate     = flag.Float64("rate", 200, "open-loop base rate per tenant (req/s)")
+		batch    = flag.Int("batch", 1, "reads per request")
+		tenants  = flag.String("tenants", "", "bench tenant JSON file (default gold/silver/bronze)")
+		report   = flag.String("report", "", "write full report JSON here (default stdout)")
+		detOut   = flag.String("det-report", "", "also write the deterministic report rendering here")
+	)
+	flag.Parse()
+	if *mode != "closed" && *mode != "open" {
+		return fmt.Errorf("bad -mode %q", *mode)
+	}
+	phases, err := parseRamp(*ramp)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.BenchConfig{
+		BaseURL:  strings.TrimRight(*addr, "/"),
+		Seed:     *seed,
+		MaxLPN:   *maxLPN,
+		OpenLoop: *mode == "open",
+		Duration: *duration,
+		Phases:   phases,
+	}
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg.Tenants); err != nil {
+			return fmt.Errorf("tenants file %s: %w", *tenants, err)
+		}
+	} else {
+		cfg.Tenants = defaultBenchTenants(*workers, *requests, *rate)
+	}
+	if *batch > 1 {
+		for i := range cfg.Tenants {
+			cfg.Tenants[i].BatchSize = *batch
+		}
+	}
+
+	// SIGINT/SIGTERM cancels the run; the partial report still lands.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := serve.RunBench(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	if *detOut != "" {
+		f, err := os.Create(*detOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.Deterministic().WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	if err := rep.AccountingErr(); err != nil {
+		return fmt.Errorf("accounting mismatch: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Command flashd is the flash-read server: it owns a sharded ssdsim
+// fleet and serves JSON-over-HTTP reads with per-tenant QoS, request
+// deadlines, bounded backpressure and a three-step overload ladder
+// (see internal/serve). SIGINT/SIGTERM drain gracefully.
+//
+// Quickstart:
+//
+//	flashd -addr 127.0.0.1:8080 &
+//	curl -s -X POST localhost:8080/read \
+//	  -d '{"tenant":"gold","lpn":1234}'
+//	curl -s localhost:8080/metrics | head
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/serve"
+	"sentinel3d/internal/ssdsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flashd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		shards  = flag.Int("shards", 4, "fleet shards (must divide channels)")
+		queue   = flag.Int("queue", 256, "per-shard queue depth")
+		seed    = flag.Uint64("seed", 42, "deterministic outcome seed")
+		premap  = flag.Int64("premap", 0, "LPNs premapped at startup (0 = 60% of device)")
+		chans   = flag.Int("channels", 4, "device channels")
+		blocks  = flag.Int("blocks", 32, "blocks per plane")
+		tenants = flag.String("tenants", "", "tenant roster JSON file (default built-in gold/silver/bronze)")
+		noLimit = flag.Bool("no-limits", false, "zero every tenant rate limit (deterministic benches)")
+
+		corrupt    = flag.Float64("fault-corrupt", 0, "per-page corruption probability [0,1]")
+		stallMS    = flag.Int("fault-stall-ms", 0, "injected stall length per hit (0 = off)")
+		stallEvery = flag.Int("fault-stall-every", 8, "stall every Nth request on the stalled shard")
+		stallShard = flag.Int("fault-stall-shard", 0, "shard the stall injector targets")
+
+		grace = flag.Duration("grace", 100*time.Millisecond, "slack past deadline before a late reply becomes 504")
+		drain = flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	sim := ssdsim.DefaultConfig()
+	sim.Geo = ftl.Geometry{Channels: *chans, ChipsPerChan: 1, DiesPerChip: 2,
+		PlanesPerDie: 2, BlocksPerPlane: *blocks, PagesPerBlock: 192}
+	sim.Seed = *seed
+
+	cfg := serve.Config{
+		Fleet: ssdsim.FleetConfig{
+			Sim:         sim,
+			Shards:      *shards,
+			QueueDepth:  *queue,
+			PremapPages: *premap,
+			Samplers:    serve.DefaultSamplers(),
+			CorruptRate: *corrupt,
+		},
+		Grace: *grace,
+	}
+	if *stallMS > 0 {
+		every := int64(*stallEvery)
+		if every < 1 {
+			every = 1
+		}
+		var hits atomic.Int64
+		target, d := *stallShard, time.Duration(*stallMS)*time.Millisecond
+		cfg.Fleet.Stall = func(shard int) time.Duration {
+			if shard != target {
+				return 0
+			}
+			if hits.Add(1)%every == 0 {
+				return d
+			}
+			return 0
+		}
+	}
+	if *tenants != "" {
+		data, err := os.ReadFile(*tenants)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &cfg.Tenants); err != nil {
+			return fmt.Errorf("tenants file %s: %w", *tenants, err)
+		}
+	}
+	if *noLimit {
+		if len(cfg.Tenants) == 0 {
+			cfg.Tenants = serve.DefaultTenants()
+		}
+		for i := range cfg.Tenants {
+			cfg.Tenants[i].RatePerSec = 0
+		}
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*addr); err != nil {
+		return err
+	}
+	fmt.Printf("flashd: serving on %s (%d shards, premap %d LPNs, seed %d)\n",
+		srv.Addr(), srv.Fleet().Shards(), srv.Fleet().PremapPages(), *seed)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("flashd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("flashd: drained cleanly")
+	return nil
+}

@@ -21,13 +21,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"regexp"
 	"strings"
+	"syscall"
 
 	"sentinel3d/internal/obs"
 	"sentinel3d/internal/parallel"
@@ -89,28 +92,47 @@ func main() {
 		fmt.Printf("debug endpoint: http://%s/metrics\n", srv.Addr)
 	}
 
+	// SIGINT/SIGTERM cancel the run cooperatively: replay cells stop at
+	// their next chunk boundary, unstarted cells are skipped, and the
+	// matrix artifacts plus the -metrics snapshot below still flush with
+	// whatever completed. A second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	var runErr error
 	if *matrixPath != "" {
-		runMatrix(*matrixPath, *cellsRe, *outDir, *benchOut, reg)
+		runErr = runMatrix(ctx, *matrixPath, *cellsRe, *outDir, *benchOut, reg)
 	} else {
-		runExp(*expID, *scaleStr, *kindStr, *requests, *workload, *policy, *shards, reg)
+		runErr = runExp(ctx, *expID, *scaleStr, *kindStr, *requests, *workload, *policy, *shards, reg)
 	}
 
+	// The metrics snapshot lands before any failure exit, so an
+	// interrupted (or failed) run still leaves its partial telemetry.
 	if *metricsOut != "" {
 		if err := obs.Dump(*metricsOut, reg); err != nil {
 			log.Fatal(err)
 		}
 	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			log.Printf("interrupted: %v", runErr)
+			os.Exit(1)
+		}
+		log.Fatal(runErr)
+	}
 }
 
 // runMatrix executes a declarative matrix file and prints a per-cell
-// summary; golden mismatches and cell errors are all reported before
-// the command exits non-zero.
-func runMatrix(path, cellsRe, outDir, benchOut string, reg *obs.Registry) {
+// summary. Golden mismatches and cell errors are all reported (and the
+// result artifacts written) before the returned error makes the command
+// exit non-zero; flag and I/O mistakes stay fatal on the spot.
+func runMatrix(ctx context.Context, path, cellsRe, outDir, benchOut string, reg *obs.Registry) error {
 	m, err := scenario.Load(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := scenario.RunOptions{Obs: reg, ResultsDir: outDir}
+	opts := scenario.RunOptions{Obs: reg, ResultsDir: outDir, Ctx: ctx}
 	if cellsRe != "" {
 		re, err := regexp.Compile(cellsRe)
 		if err != nil {
@@ -150,9 +172,7 @@ func runMatrix(path, cellsRe, outDir, benchOut string, reg *obs.Registry) {
 		fmt.Printf("matrix %s: %d cells, %d failed, %d shared-precondition executions\n",
 			m.Name, len(res.Cells), len(res.Failed()), res.PrecondExecutions)
 	}
-	if runErr != nil {
-		log.Fatal(runErr)
-	}
+	return runErr
 }
 
 // renderBlock newline-terminates a cell render for display.
@@ -174,8 +194,10 @@ var aliases = map[string][]string{
 	"ablations": {"ablation-placement", "ablation-tempbands", "ablation-delta", "ablation-combined"},
 }
 
-// runExp dispatches one -exp id (or "all") through the registry.
-func runExp(expID, scaleStr, kindStr string, requests int, workload, policy string, shards int, reg *obs.Registry) {
+// runExp dispatches one -exp id (or "all") through the registry. Cell
+// failures and cancellation return an error (so main can still flush
+// the metrics snapshot); bad flag values stay fatal on the spot.
+func runExp(ctx context.Context, expID, scaleStr, kindStr string, requests int, workload, policy string, shards int, reg *obs.Registry) error {
 	kinds := []string{"tlc", "qlc"}
 	switch strings.ToLower(kindStr) {
 	case "tlc":
@@ -202,6 +224,9 @@ func runExp(expID, scaleStr, kindStr string, requests int, workload, policy stri
 	}
 
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("stopped before %s: %w", id, err)
+		}
 		entry, err := scenario.Lookup(id)
 		if err != nil {
 			log.Fatal(err)
@@ -226,14 +251,15 @@ func runExp(expID, scaleStr, kindStr string, requests int, workload, policy stri
 				spec.Name = id + "_" + k
 				label = id + "/" + k
 			}
-			res, err := scenario.RunCell(spec, scenario.RunOptions{Obs: reg})
+			res, err := scenario.RunCell(spec, scenario.RunOptions{Obs: reg, Ctx: ctx})
 			if err != nil {
-				log.Fatalf("%s: %v", label, err)
+				return fmt.Errorf("%s: %w", label, err)
 			}
 			fmt.Printf("== %s (%s scale, %.1fs) ==\n%s\n",
 				label, scaleName(scaleStr), res.Seconds, res.Render)
 		}
 	}
+	return nil
 }
 
 // scaleName normalizes the -scale flag for display.

@@ -18,10 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/obs"
@@ -57,6 +61,14 @@ func main() {
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	// SIGINT/SIGTERM cancel the matrix run cooperatively: streaming
+	// replay cells stop at their next chunk boundary, unstarted cells
+	// are skipped, and the metrics/slow-trace snapshots below still
+	// flush whatever was serviced. A second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	scaleStr := "quick"
 	if *full {
@@ -144,9 +156,16 @@ func main() {
 		fmt.Printf("faults: %.3g of OOB cells stuck high (seed %d)\n", *faultStuck, *faultSeed)
 	}
 
-	res, err := scenario.Run(m, scenario.RunOptions{Obs: reg, KeepPayload: true})
-	if err != nil {
-		log.Fatal(err)
+	res, runErr := scenario.Run(m, scenario.RunOptions{Obs: reg, KeepPayload: true, Ctx: ctx})
+	if runErr != nil && ctx.Err() == nil {
+		log.Fatal(runErr)
+	}
+	if ctx.Err() != nil {
+		// Interrupted: some cells never produced payloads, so skip the
+		// comparison table, flush the partial snapshots and exit non-zero.
+		fmt.Println("interrupted: skipping comparison table, flushing partial metrics")
+		dumpSnapshots(*metricsOut, *slowOut, reg)
+		os.Exit(1)
 	}
 
 	// Cells are in matrix order: len(policies) per workload.
@@ -198,13 +217,21 @@ func main() {
 	}
 	fmt.Print(experiments.Table(header, rows))
 
-	if *metricsOut != "" {
-		if err := obs.Dump(*metricsOut, reg); err != nil {
+	dumpSnapshots(*metricsOut, *slowOut, reg)
+}
+
+// dumpSnapshots writes the metrics and slow-trace snapshots to their
+// -metrics / -slow destinations (both optional). It runs on the clean
+// path and on interrupt, so a canceled run still lands its partial
+// snapshot.
+func dumpSnapshots(metricsOut, slowOut string, reg *obs.Registry) {
+	if metricsOut != "" {
+		if err := obs.Dump(metricsOut, reg); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if *slowOut != "" {
-		if err := obs.DumpSlow(*slowOut, reg); err != nil {
+	if slowOut != "" {
+		if err := obs.DumpSlow(slowOut, reg); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestServeEndpoints: the debug server exposes the Prometheus
@@ -61,4 +63,35 @@ func TestServeEndpoints(t *testing.T) {
 	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
 		t.Error("pprof index missing goroutine profile")
 	}
+}
+
+// TestServeHardening: the endpoint carries a ReadHeaderTimeout (no
+// slowloris) and Shutdown drains gracefully.
+func TestServeHardening(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("debug server has no ReadHeaderTimeout")
+	}
+	if resp, err := http.Get("http://" + srv.Addr + "/metrics"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	// Nil receiver and double shutdown are safe.
+	var nilSrv *Server
+	if err := nilSrv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Shutdown(ctx)
 }

@@ -347,7 +347,7 @@ func runReplay(ctx *Ctx) (*Outcome, error) {
 	eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
 		Sim: simCfg, Shards: shards,
 		CollectLatencies: spec.Collect, Precondition: true,
-		Metrics: reg,
+		Metrics: reg, Ctx: ctx.Context,
 	}, sampler)
 	if err != nil {
 		return nil, err

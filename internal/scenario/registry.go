@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,12 @@ type Ctx struct {
 	// Shared dedupes expensive setup (trained models, aged chips,
 	// sampled retry distributions) across the cells of one matrix run.
 	Shared *Shared
+	// Context, when non-nil, cancels long cell work cooperatively (the
+	// CLIs wire SIGINT/SIGTERM through RunOptions.Ctx): the replay
+	// runner hands it to the streaming engine, which stops at its next
+	// chunk boundary. Nil means run to completion; chip-level runners
+	// that finish in milliseconds may ignore it.
+	Context context.Context
 }
 
 // Kind resolves the spec's cell technology.

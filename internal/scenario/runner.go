@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -48,6 +49,13 @@ type RunOptions struct {
 	// in-process front-ends (tracesim's comparison table); the payload is
 	// never serialized.
 	KeepPayload bool
+	// Ctx, when non-nil, cancels the run cooperatively (the CLIs wire
+	// SIGINT/SIGTERM here): cells that have not started are marked
+	// "canceled before start" without running, in-flight replay cells
+	// stop at their next chunk boundary, and the partial results still
+	// emit — an interrupted matrix flushes what it has instead of dying
+	// mid-write.
+	Ctx context.Context
 }
 
 // CellResult is one cell's machine-readable outcome.
@@ -188,6 +196,10 @@ func runCell(spec Spec, shared *Shared, opts RunOptions) CellResult {
 		Seed:       spec.Seed,
 		Golden:     spec.Golden,
 	}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		out.Err = "canceled before start"
+		return out
+	}
 	entry, err := Lookup(spec.Experiment)
 	if err != nil {
 		out.Err = err.Error()
@@ -209,7 +221,8 @@ func runCell(spec Spec, shared *Shared, opts RunOptions) CellResult {
 		out.Err = err.Error()
 		return out
 	}
-	ctx := &Ctx{Spec: spec, Scale: scale, Seed: spec.Seed, Obs: reg, Shared: shared}
+	ctx := &Ctx{Spec: spec, Scale: scale, Seed: spec.Seed, Obs: reg,
+		Shared: shared, Context: opts.Ctx}
 	start := time.Now()
 	oc, err := entry.Run(ctx)
 	out.Seconds = time.Since(start).Seconds()

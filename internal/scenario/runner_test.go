@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -240,4 +241,29 @@ func mustRe(t *testing.T, expr string) *regexp.Regexp {
 		t.Fatal(err)
 	}
 	return re
+}
+
+// TestRunCanceled: a canceled run marks unstarted cells instead of
+// executing them, still emits the result artifacts, and reports the
+// cancellation through the returned error — the CLI SIGINT contract.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+	res, err := Run(syntheticMatrix(), RunOptions{Ctx: ctx, ResultsDir: dir})
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if res == nil || len(res.Cells) != 4 {
+		t.Fatalf("canceled run results: %+v", res)
+	}
+	for _, c := range res.Cells {
+		if c.Err != "canceled before start" {
+			t.Errorf("cell %s: err %q, want canceled before start", c.Name, c.Err)
+		}
+	}
+	// The partial artifacts still flushed.
+	if _, err := os.Stat(filepath.Join(dir, "matrix.json")); err != nil {
+		t.Errorf("canceled run wrote no matrix summary: %v", err)
+	}
 }

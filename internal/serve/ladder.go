@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sentinel3d/internal/obs"
+)
+
+// Ladder levels, engaged strictly in order under sustained overload and
+// released in reverse as pressure drains. Each level keeps the measures
+// of the levels below it.
+const (
+	// LevelNormal: full service.
+	LevelNormal = 0
+	// LevelShed: requests from tenants with Tier >= ShedTier get 503.
+	LevelShed = 1
+	// LevelForceTable: every read runs the static-table policy — no
+	// sentinel aux senses, cheaper and more predictable service time.
+	LevelForceTable = 2
+	// LevelFailFast: reads carry a hard retry budget (FailFastRetries);
+	// pages needing more fail immediately as uncorrectable.
+	LevelFailFast = 3
+)
+
+// LadderConfig tunes the overload controller.
+type LadderConfig struct {
+	// Tick is the sampling period of the pressure signal (default 25ms).
+	Tick time.Duration
+	// Engage and Release are queue-occupancy hysteresis thresholds:
+	// pressure >= Engage counts toward climbing a level, pressure <=
+	// Release toward stepping down. Defaults 0.75 / 0.25.
+	Engage  float64
+	Release float64
+	// UpTicks and DownTicks are how many consecutive qualifying ticks a
+	// transition needs (defaults 2 and 8 — quick to protect, slow to
+	// relax). The ladder moves ONE level per transition, never skips.
+	UpTicks   int
+	DownTicks int
+	// ShedTier: tenants with Tier >= ShedTier are shed at LevelShed
+	// (default 2).
+	ShedTier int
+	// FailFastRetries is the per-page retry budget at LevelFailFast
+	// (default 1).
+	FailFastRetries int
+}
+
+func (c *LadderConfig) withDefaults() {
+	if c.Tick <= 0 {
+		c.Tick = 25 * time.Millisecond
+	}
+	if c.Engage <= 0 {
+		c.Engage = 0.75
+	}
+	if c.Release <= 0 {
+		c.Release = 0.25
+	}
+	if c.UpTicks <= 0 {
+		c.UpTicks = 2
+	}
+	if c.DownTicks <= 0 {
+		c.DownTicks = 8
+	}
+	if c.ShedTier <= 0 {
+		c.ShedTier = 2
+	}
+	if c.FailFastRetries <= 0 {
+		c.FailFastRetries = 1
+	}
+}
+
+// Transition records one ladder level change.
+type Transition struct {
+	At       time.Time
+	From, To int
+	Pressure float64
+}
+
+// Ladder is the three-step overload/degradation controller: it samples
+// a pressure signal (the fleet's worst queue occupancy) on a ticker and
+// walks the level up or down one step at a time with hysteresis. Level
+// reads are lock-free; the transition history is kept for tests and
+// operators.
+type Ladder struct {
+	cfg      LadderConfig
+	pressure func() float64
+
+	level atomic.Int32
+
+	mu       sync.Mutex
+	trans    []Transition
+	up, down int
+
+	stop chan struct{}
+	done chan struct{}
+
+	levelGauge *obs.Gauge
+	transCtr   *obs.Counter
+}
+
+// NewLadder builds a stopped ladder; call Start to begin sampling.
+// pressure must be safe for concurrent use (Fleet.MaxQueueFrac is).
+func NewLadder(cfg LadderConfig, pressure func() float64, set *obs.Set) *Ladder {
+	cfg.withDefaults()
+	return &Ladder{
+		cfg:        cfg,
+		pressure:   pressure,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		levelGauge: set.Gauge("serve.degrade_level", "current overload ladder level (0=normal)"),
+		transCtr:   set.Counter("serve.ladder_transitions", "ladder level changes"),
+	}
+}
+
+// Config returns the ladder's effective (defaulted) configuration.
+func (l *Ladder) Config() LadderConfig { return l.cfg }
+
+// Level returns the current ladder level.
+func (l *Ladder) Level() int { return int(l.level.Load()) }
+
+// Transitions returns a copy of the level-change history in order.
+func (l *Ladder) Transitions() []Transition {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Transition, len(l.trans))
+	copy(out, l.trans)
+	return out
+}
+
+// Start launches the sampling loop.
+func (l *Ladder) Start() {
+	go func() {
+		defer close(l.done)
+		t := time.NewTicker(l.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.stop:
+				return
+			case <-t.C:
+				l.tick()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling; the level freezes at its current value.
+func (l *Ladder) Stop() {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	<-l.done
+}
+
+// tick samples pressure once and applies the hysteresis state machine:
+// UpTicks consecutive samples at or above Engage climb one level,
+// DownTicks at or below Release descend one. The middle band resets
+// both streaks, so a transition always reflects sustained pressure.
+func (l *Ladder) tick() {
+	p := l.pressure()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := int(l.level.Load())
+	switch {
+	case p >= l.cfg.Engage:
+		l.down = 0
+		l.up++
+		if l.up >= l.cfg.UpTicks && cur < LevelFailFast {
+			l.shift(cur, cur+1, p)
+		}
+	case p <= l.cfg.Release:
+		l.up = 0
+		l.down++
+		if l.down >= l.cfg.DownTicks && cur > LevelNormal {
+			l.shift(cur, cur-1, p)
+		}
+	default:
+		l.up, l.down = 0, 0
+	}
+}
+
+// shift moves the level (caller holds mu) and resets both streaks so
+// the next step needs its own full run of qualifying ticks.
+func (l *Ladder) shift(from, to int, p float64) {
+	l.level.Store(int32(to))
+	l.up, l.down = 0, 0
+	l.trans = append(l.trans, Transition{At: time.Now(), From: from, To: to, Pressure: p})
+	l.transCtr.Inc()
+	l.levelGauge.Set(float64(to))
+}

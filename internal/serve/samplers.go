@@ -1,0 +1,38 @@
+package serve
+
+import "sentinel3d/internal/ssdsim"
+
+// DefaultSamplers is the sentinel-vs-static-table policy pair flashd
+// serves when no trained model is wired in: empirical retry pools per
+// TLC page type, shaped like the paper's headline result — the
+// sentinel policy resolves most reads in one attempt at the cost of an
+// aux sense, the vendor table walks fixed retry sequences (deep for
+// MSB pages).
+func DefaultSamplers() map[string]ssdsim.RetrySampler {
+	return map[string]ssdsim.RetrySampler{
+		"sentinel": &ssdsim.EmpiricalSampler{PerPage: [][]ssdsim.RetryOutcome{
+			{ // LSB: one boundary, sentinel nails it
+				{Retries: 0}, {Retries: 0}, {Retries: 0}, {Retries: 0, AuxSenses: 1},
+			},
+			{ // CSB
+				{Retries: 0, AuxSenses: 1}, {Retries: 0, AuxSenses: 1},
+				{Retries: 1, AuxSenses: 1}, {Retries: 0},
+			},
+			{ // MSB: deepest levels, occasional second shot
+				{Retries: 0, AuxSenses: 1}, {Retries: 1, AuxSenses: 1},
+				{Retries: 1, AuxSenses: 2}, {Retries: 2, AuxSenses: 1},
+			},
+		}},
+		"table": &ssdsim.EmpiricalSampler{PerPage: [][]ssdsim.RetryOutcome{
+			{ // LSB
+				{Retries: 0}, {Retries: 1}, {Retries: 1}, {Retries: 2},
+			},
+			{ // CSB
+				{Retries: 1}, {Retries: 2}, {Retries: 2}, {Retries: 3},
+			},
+			{ // MSB: long vendor sequences
+				{Retries: 2}, {Retries: 4}, {Retries: 5}, {Retries: 6},
+			},
+		}},
+	}
+}

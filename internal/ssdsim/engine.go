@@ -1,6 +1,8 @@
 package ssdsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -41,6 +43,13 @@ type ReplayConfig struct {
 	// deterministic except the per-shard req/s gauges, which
 	// Snapshot.Deterministic strips.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, cancels a replay cooperatively (the CLIs wire
+	// SIGINT/SIGTERM here): the replay pass stops at its next chunk
+	// boundary, the precondition pass at its next batch, the paced
+	// per-shard metric flushes are settled, and Replay returns the
+	// merged partial report alongside the context's error — an
+	// interrupt flushes what was serviced instead of dying mid-stream.
+	Ctx context.Context
 }
 
 // defaultChunkRequests holds ~1 MiB of requests per in-flight chunk.
@@ -155,8 +164,13 @@ func (e *Engine) Replay(open trace.Opener) (*Report, error) {
 		}
 	}
 	busy := make([]float64, len(sims))
+	var canceled error
 	if err := e.replayPass(sims, reps, open, busy); err != nil {
-		return nil, err
+		if cerr := e.ctxErr(); cerr != nil && errors.Is(err, cerr) {
+			canceled = err // merge and return the partial report below
+		} else {
+			return nil, err
+		}
 	}
 	if e.cfg.Metrics != nil {
 		for s := range sims {
@@ -173,7 +187,16 @@ func (e *Engine) Replay(open trace.Opener) (*Report, error) {
 		out.merge(reps[s])
 	}
 	out.finalize()
-	return out, nil
+	return out, canceled
+}
+
+// ctxErr reports the configured context's cancellation state; a nil
+// context never cancels.
+func (e *Engine) ctxErr() error {
+	if e.cfg.Ctx == nil {
+		return nil
+	}
+	return e.cfg.Ctx.Err()
 }
 
 func (e *Engine) newReport() *Report {
@@ -195,7 +218,15 @@ func (e *Engine) preconditionPass(sims []*Sim, open trace.Opener) error {
 	}
 	defer closeSource(src)
 	deds := make([]lpnDedup, len(sims))
-	for {
+	for n := 0; ; n++ {
+		// The warm-up pass has no partial result worth keeping, so a
+		// cancelled precondition simply aborts (checked in batches — the
+		// per-request cost of ctx.Err() would be measurable at replay scale).
+		if n%4096 == 0 {
+			if err := e.ctxErr(); err != nil {
+				return err
+			}
+		}
 		r, ok, err := src.Next()
 		if err != nil {
 			return err
@@ -304,9 +335,17 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener, busy
 		}
 	}()
 
+	var canceled error
 	for msg := range chunks {
 		if msg.err != nil {
 			return msg.err
+		}
+		// Cancellation is checked once per chunk: a canceled replay stops
+		// here with every already-replayed chunk fully serviced, so the
+		// partial report stays internally consistent.
+		if err := e.ctxErr(); err != nil {
+			canceled = err
+			break
 		}
 		if err := parallel.ForEachErr(nShards, func(s int) error {
 			if len(msg.perShard[s]) == 0 {
@@ -324,18 +363,26 @@ func (e *Engine) replayPass(sims []*Sim, reps []*Report, open trace.Opener, busy
 		default:
 		}
 	}
-	// The demux is stream-global, so the reordering count is accounted to
-	// shard 0 rather than split; merge sums it back into the run total.
-	reps[0].ReorderedArrivals = reordered
-	if m := sims[0].met; m != nil && reordered != 0 {
-		m.reorderedArrivals.Add(reordered)
+	if canceled == nil {
+		// The demux is stream-global, so the reordering count is accounted
+		// to shard 0 rather than split; merge sums it back into the run
+		// total. (On cancellation the producer never drained the stream, so
+		// there is no count to collect.)
+		reps[0].ReorderedArrivals = reordered
+		if m := sims[0].met; m != nil && reordered != 0 {
+			m.reorderedArrivals.Add(reordered)
+		}
 	}
 	// Settle the paced metric flushes: after the last chunk the registry
-	// must hold the pass's exact totals.
+	// must hold the pass's exact totals — on cancellation, the partial
+	// totals of everything serviced so far.
 	for s := range sims {
 		sims[s].flushMetrics()
 	}
-	return closeSource(src)
+	if err := closeSource(src); err != nil && canceled == nil {
+		return err
+	}
+	return canceled
 }
 
 // closeSource closes a source that owns a resource (e.g. an MSR file).

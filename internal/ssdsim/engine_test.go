@@ -1,6 +1,8 @@
 package ssdsim
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -333,4 +335,80 @@ func relDiff(a, b float64) float64 {
 	d := math.Abs(a - b)
 	m := math.Max(math.Abs(a), math.Abs(b))
 	return d / m
+}
+
+// cancelAfterSource cancels a context after emitting a fixed number of
+// requests — a deterministic stand-in for SIGINT arriving mid-stream.
+type cancelAfterSource struct {
+	src    trace.Source
+	cancel context.CancelFunc
+	after  int
+	n      int
+}
+
+func (c *cancelAfterSource) Next() (trace.Request, bool, error) {
+	if c.n == c.after {
+		c.cancel()
+	}
+	c.n++
+	return c.src.Next()
+}
+
+// TestEngineReplayCanceled: cancellation stops the replay at a chunk
+// boundary and Replay still returns the merged partial report alongside
+// the context error — the CLI interrupt path depends on both halves.
+func TestEngineReplayCanceled(t *testing.T) {
+	cfg := engineConfig()
+	reqs := engineTrace(t, 2000)
+
+	// Pre-canceled: nothing is serviced, but the (empty) report is
+	// still merged and returned with the error.
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	eng, err := NewEngine(ReplayConfig{Sim: cfg, Shards: 2, Ctx: pre}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Replay(trace.SliceOpener(reqs))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled replay: err %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Requests != 0 {
+		t.Fatalf("pre-canceled replay report: %+v", rep)
+	}
+
+	// Mid-stream: the source fires the cancel after 200 requests. Every
+	// chunk replayed before the cancel is complete (so the serviced
+	// count is a multiple of the chunk size) and chunks demuxed after it
+	// never run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng2, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 2, ChunkRequests: 64, Ctx: ctx,
+	}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := func() (trace.Source, error) {
+		return &cancelAfterSource{src: trace.Sliced(reqs), cancel: cancel, after: 200}, nil
+	}
+	rep2, err := eng2.Replay(open)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream cancel: err %v, want context.Canceled", err)
+	}
+	if rep2 == nil || rep2.Requests >= len(reqs) {
+		t.Fatalf("canceled replay serviced the whole trace: %+v", rep2)
+	}
+	if rep2.Requests%64 != 0 {
+		t.Fatalf("partial report cut inside a chunk: %d requests", rep2.Requests)
+	}
+
+	// A canceled precondition pass aborts before any replay state exists.
+	eng3, err := NewEngine(ReplayConfig{Sim: cfg, Precondition: true, Ctx: pre}, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng3.Replay(trace.SliceOpener(reqs)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled precondition: err %v", err)
+	}
 }

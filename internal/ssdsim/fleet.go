@@ -1,0 +1,419 @@
+package ssdsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"sentinel3d/internal/ftl"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
+)
+
+// Fleet is the online (serving) counterpart of the batch replay Engine:
+// N sharded sub-devices, each owned by one worker goroutine behind a
+// bounded request queue, servicing reads submitted one at a time with a
+// context deadline instead of a pre-recorded trace. It is what
+// cmd/flashd serves traffic from.
+//
+// Three contracts shape it:
+//
+//   - Backpressure, never buffering: Submit fails fast with ErrQueueFull
+//     when the target shard's queue is at capacity. The fleet never
+//     spawns per-request goroutines and never grows a queue, so overload
+//     surfaces to the admission layer instead of as memory.
+//   - Deadlines are honoured at dequeue: a request whose context deadline
+//     has already passed when its shard gets to it is rejected without
+//     touching the device (reject-on-arrival), so a backed-up queue
+//     cannot burn device time on reads nobody is waiting for.
+//   - Deterministic outcomes: a read's retry outcome is a pure function
+//     of (fleet seed, page LPN, policy), like the internal/fault
+//     injector's pure-hash decisions — never of arrival order or
+//     goroutine scheduling. Two closed-loop benchmark runs with the same
+//     seed therefore observe byte-identical per-read results, which is
+//     what makes flashbench reports reproducible.
+type Fleet struct {
+	cfg      FleetConfig
+	samplers map[string]fleetSampler
+
+	mu      sync.RWMutex // guards stopped vs in-flight Submit sends
+	stopped bool
+
+	shards []*fleetShard
+	wg     sync.WaitGroup
+}
+
+// fleetSampler pairs a policy's sampler with the salt that keys its
+// deterministic per-page outcome stream.
+type fleetSampler struct {
+	sampler RetrySampler
+	salt    uint64
+}
+
+// FleetConfig parameterizes a Fleet.
+type FleetConfig struct {
+	// Sim carries the device geometry, latency model, bits per cell and
+	// the seed of the deterministic outcome streams. Obs and PEFaults are
+	// ignored; Metrics below attaches observability.
+	Sim Config
+	// Shards is the number of independent sub-devices (default 1); it
+	// must divide Sim.Geo.Channels, exactly like ReplayConfig.Shards.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 256). A full
+	// queue rejects with ErrQueueFull.
+	QueueDepth int
+	// PremapPages maps LPNs [0, PremapPages) at startup so reads hit
+	// valid data (the serving analogue of Precondition). Default 60% of
+	// the device's physical pages; capped validation happens in NewFleet.
+	PremapPages int64
+	// Samplers maps policy names ("sentinel", "table", ...) to retry
+	// samplers; Submit selects per read. At least one entry is required.
+	Samplers map[string]RetrySampler
+	// CorruptRate injects media corruption: each page read independently
+	// turns uncorrectable with this probability, drawn from the page's
+	// deterministic outcome stream (the serving analogue of the chip-
+	// level internal/fault corruption).
+	CorruptRate float64
+	// Stall, when non-nil, returns an extra wall-clock service delay for
+	// a request on the given shard — the chaos hook that simulates a
+	// slow die or a hiccuping channel. It runs on the shard worker, so a
+	// stall backs up that shard's queue exactly like a real slow shard.
+	Stall func(shard int) time.Duration
+	// Metrics, when non-nil, attaches per-shard queue instrumentation
+	// (depth gauges, queue-wait histograms). Needs >= Shards shards.
+	Metrics *obs.Registry
+}
+
+// FleetRead is one read submitted to the fleet.
+type FleetRead struct {
+	LPN   int64
+	Pages int
+	// Policy selects the sampler (must be a FleetConfig.Samplers key).
+	Policy string
+	// MaxRetries, when positive, caps the retry budget: a page whose
+	// sampled outcome needs more retries is failed fast as uncorrectable
+	// after MaxRetries attempts instead of burning the full budget. The
+	// degradation ladder's fail-fast step sets it.
+	MaxRetries int
+}
+
+// FleetResult is the outcome of one serviced read.
+type FleetResult struct {
+	// SimUS is the simulated device service time of the request alone
+	// (die sensing + channel transfer, µs), excluding wall-clock queue
+	// wait. It is deterministic per (seed, LPN, policy).
+	SimUS float64
+	// QueueWait is the wall-clock time the request spent queued before
+	// its shard worker picked it up.
+	QueueWait time.Duration
+	// Shard is the shard that serviced the request.
+	Shard int
+	// Retries and AuxSenses sum the per-page sampled outcomes.
+	Retries   int
+	AuxSenses int
+	// UsedFallback / Uncorrectable / FailFast flag pages that degraded
+	// to the static table, failed ECC, or were cut off by MaxRetries.
+	UsedFallback  bool
+	Uncorrectable bool
+	FailFast      bool
+	// UnmappedPages counts pages serviced from the mapping table without
+	// touching flash.
+	UnmappedPages int
+	// Check is an order-independent checksum of the read's deterministic
+	// outcome (XOR over pages); benchmark reports accumulate it to prove
+	// two runs observed identical results.
+	Check uint64
+}
+
+// Fleet submission errors. ErrQueueFull is the backpressure signal the
+// admission layer converts into 429 + Retry-After; ErrFleetStopped
+// rejects submissions after Close began.
+var (
+	ErrQueueFull    = errors.New("ssdsim: shard queue full")
+	ErrFleetStopped = errors.New("ssdsim: fleet stopped")
+	// ErrUnknownPolicy reports a FleetRead naming no configured sampler.
+	ErrUnknownPolicy = errors.New("ssdsim: unknown policy")
+)
+
+// fleetReq is the queue entry: the read, its context (for the dequeue
+// deadline check), and the reply channel (buffered, so the worker never
+// blocks replying to an abandoned caller).
+type fleetReq struct {
+	read     FleetRead
+	ctx      context.Context
+	enqueued time.Time
+	done     chan fleetReply
+}
+
+type fleetReply struct {
+	res FleetResult
+	err error
+}
+
+// fleetShard is one sub-device: a bounded queue and the single worker
+// goroutine that owns the shard's FTL.
+type fleetShard struct {
+	queue chan fleetReq
+	ftl   *ftl.FTL
+
+	depth     *obs.Gauge
+	waitUS    *obs.Hist
+	rejects   *obs.Counter
+	expired   *obs.Counter
+	satisfied *obs.Counter
+}
+
+// defaultQueueDepth bounds a shard queue when the config leaves it zero.
+const defaultQueueDepth = 256
+
+// policySalt keys a policy's deterministic outcome stream by name, so
+// "sentinel" and "table" reads of the same page draw different outcomes.
+func policySalt(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// NewFleet validates the configuration, builds the per-shard FTLs and
+// premaps the logical space, then starts one worker per shard.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("ssdsim: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Sim.Geo.Channels%cfg.Shards != 0 {
+		return nil, fmt.Errorf("ssdsim: %d shards do not divide %d channels",
+			cfg.Shards, cfg.Sim.Geo.Channels)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("ssdsim: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.CorruptRate < 0 || cfg.CorruptRate > 1 {
+		return nil, fmt.Errorf("ssdsim: corrupt rate %g outside [0,1]", cfg.CorruptRate)
+	}
+	if len(cfg.Samplers) == 0 {
+		return nil, fmt.Errorf("ssdsim: fleet needs at least one sampler")
+	}
+	if cfg.Metrics != nil && cfg.Metrics.Shards() < cfg.Shards {
+		return nil, fmt.Errorf("ssdsim: metrics registry has %d shards, fleet needs %d",
+			cfg.Metrics.Shards(), cfg.Shards)
+	}
+	shardGeo := cfg.Sim.Geo
+	shardGeo.Channels /= cfg.Shards
+	sub := cfg.Sim
+	sub.Geo = shardGeo
+	if err := sub.Validate(); err != nil {
+		return nil, err
+	}
+	total := int64(cfg.Sim.Geo.PagesTotal())
+	if cfg.PremapPages == 0 {
+		cfg.PremapPages = total * 6 / 10
+	}
+	if cfg.PremapPages < 0 || cfg.PremapPages > total*9/10 {
+		return nil, fmt.Errorf("ssdsim: premap %d outside [0, 90%% of %d pages]",
+			cfg.PremapPages, total)
+	}
+	f := &Fleet{cfg: cfg, samplers: make(map[string]fleetSampler, len(cfg.Samplers))}
+	for name, s := range cfg.Samplers {
+		if err := checkSampler(sub, s); err != nil {
+			return nil, fmt.Errorf("policy %q: %w", name, err)
+		}
+		f.samplers[name] = fleetSampler{sampler: s, salt: policySalt(name)}
+	}
+	f.shards = make([]*fleetShard, cfg.Shards)
+	for s := range f.shards {
+		ft, err := ftl.New(shardGeo)
+		if err != nil {
+			return nil, err
+		}
+		sh := &fleetShard{queue: make(chan fleetReq, cfg.QueueDepth), ftl: ft}
+		if set := cfg.Metrics.Set(s); set != nil {
+			sh.depth = set.Gauge("fleet.queue_depth", "requests queued on this shard")
+			sh.waitUS = set.Hist("fleet.queue_wait_us", "wall-clock queue wait per request")
+			sh.rejects = set.Counter("fleet.queue_rejects", "submissions rejected by a full queue")
+			sh.expired = set.Counter("fleet.deadline_expired", "requests already past deadline at dequeue")
+			sh.satisfied = set.Counter("fleet.reads_serviced", "requests serviced by this shard")
+		}
+		f.shards[s] = sh
+	}
+	// Premap ascending: each LPN routes to its owning shard's FTL, the
+	// same granule interleaving the replay engine uses.
+	for lpn := int64(0); lpn < cfg.PremapPages; lpn++ {
+		sh := f.shards[f.shardOf(lpn)]
+		if _, err := sh.ftl.Write(lpn); err != nil {
+			return nil, err
+		}
+	}
+	f.wg.Add(len(f.shards))
+	for s := range f.shards {
+		go f.run(s)
+	}
+	return f, nil
+}
+
+// Shards returns the fleet's shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// PremapPages returns the number of LPNs mapped at startup — the
+// logical footprint load generators should stay inside.
+func (f *Fleet) PremapPages() int64 { return f.cfg.PremapPages }
+
+// shardOf mirrors Engine.shardOf: granule-interleaved LPN routing.
+func (f *Fleet) shardOf(lpn int64) int {
+	s := (lpn / shardGranule) % int64(len(f.shards))
+	if s < 0 {
+		return 0
+	}
+	return int(s)
+}
+
+// MaxQueueFrac returns the highest queue occupancy across shards in
+// [0, 1] — the degradation ladder's pressure signal.
+func (f *Fleet) MaxQueueFrac() float64 {
+	frac := 0.0
+	for _, sh := range f.shards {
+		if q := float64(len(sh.queue)) / float64(cap(sh.queue)); q > frac {
+			frac = q
+		}
+	}
+	return frac
+}
+
+// Submit enqueues one read on its shard and waits for the result. It
+// fails fast with ErrQueueFull when the shard's queue is at capacity
+// and with ErrFleetStopped after Close; a context already expired at
+// dequeue time returns the context's error without device work. Submit
+// never abandons a queued request — once enqueued it always waits for
+// the shard's reply, so accounting is exact and nothing leaks.
+func (f *Fleet) Submit(ctx context.Context, read FleetRead) (FleetResult, error) {
+	if read.Pages <= 0 {
+		read.Pages = 1
+	}
+	if read.LPN < 0 {
+		return FleetResult{}, fmt.Errorf("ssdsim: negative LPN %d", read.LPN)
+	}
+	if _, ok := f.samplers[read.Policy]; !ok {
+		return FleetResult{}, fmt.Errorf("%w %q", ErrUnknownPolicy, read.Policy)
+	}
+	req := fleetReq{read: read, ctx: ctx, enqueued: time.Now(),
+		done: make(chan fleetReply, 1)}
+	sh := f.shards[f.shardOf(read.LPN)]
+
+	f.mu.RLock()
+	if f.stopped {
+		f.mu.RUnlock()
+		return FleetResult{}, ErrFleetStopped
+	}
+	select {
+	case sh.queue <- req:
+		f.mu.RUnlock()
+	default:
+		f.mu.RUnlock()
+		sh.rejects.Inc()
+		return FleetResult{}, ErrQueueFull
+	}
+	rep := <-req.done
+	return rep.res, rep.err
+}
+
+// Close stops accepting new submissions, services every already-queued
+// request (graceful drain — nothing enqueued is ever dropped), and
+// waits for the shard workers to exit.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	f.mu.Unlock()
+	for _, sh := range f.shards {
+		close(sh.queue)
+	}
+	f.wg.Wait()
+}
+
+// run is shard s's worker: dequeue, deadline-check, service, reply.
+func (f *Fleet) run(s int) {
+	defer f.wg.Done()
+	sh := f.shards[s]
+	for req := range sh.queue {
+		sh.depth.Set(float64(len(sh.queue)))
+		wait := time.Since(req.enqueued)
+		sh.waitUS.Observe(float64(wait.Microseconds()))
+		if err := req.ctx.Err(); err != nil {
+			// Reject-on-arrival: the caller stopped waiting (deadline or
+			// cancel) while the request sat in the queue; spend no device
+			// time on it.
+			sh.expired.Inc()
+			req.done <- fleetReply{err: err}
+			continue
+		}
+		if f.cfg.Stall != nil {
+			if d := f.cfg.Stall(s); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		res := f.service(sh, s, req.read)
+		res.QueueWait = wait
+		sh.satisfied.Inc()
+		req.done <- fleetReply{res: res}
+	}
+}
+
+// service reads every page of the request on shard s. Outcomes are
+// deterministic per page: the RNG stream is keyed by (seed, LPN, policy
+// salt), so neither arrival order nor concurrency changes any result.
+func (f *Fleet) service(sh *fleetShard, s int, read FleetRead) FleetResult {
+	pol := f.samplers[read.Policy]
+	lat := f.cfg.Sim.Lat
+	res := FleetResult{Shard: s}
+	for p := 0; p < read.Pages; p++ {
+		lpn := read.LPN + int64(p)
+		ppn, ok := sh.ftl.Translate(lpn)
+		if !ok {
+			res.UnmappedPages++
+			res.SimUS += lat.MapLookup
+			res.Check ^= mathx.Mix3(uint64(lpn), pol.salt, 0xdead)
+			continue
+		}
+		rng := mathx.NewRand(mathx.Mix3(f.cfg.Sim.Seed, uint64(lpn), pol.salt))
+		pageType := ppn.Page % f.cfg.Sim.Bits
+		out := pol.sampler.Sample(pageType, rng)
+		if f.cfg.CorruptRate > 0 && rng.Float64() < f.cfg.CorruptRate {
+			out.Uncorrectable = true
+		}
+		if read.MaxRetries > 0 && out.Retries > read.MaxRetries {
+			out.Retries = read.MaxRetries
+			out.Uncorrectable = true
+			res.FailFast = true
+		}
+		res.Retries += out.Retries
+		res.AuxSenses += out.AuxSenses
+		res.UsedFallback = res.UsedFallback || out.UsedFallback
+		res.Uncorrectable = res.Uncorrectable || out.Uncorrectable
+		attempts := float64(out.Retries + 1)
+		res.SimUS += attempts*(lat.SenseBase+float64(levelsOf(pageType))*lat.SensePerLevel) +
+			float64(out.AuxSenses)*(lat.SenseBase+lat.SensePerLevel) +
+			attempts*(lat.Transfer+lat.ECCDecode) +
+			float64(out.AuxSenses)*lat.Transfer
+		flags := uint64(0)
+		if out.UsedFallback {
+			flags |= 1
+		}
+		if out.Uncorrectable {
+			flags |= 2
+		}
+		res.Check ^= mathx.Mix4(uint64(lpn), pol.salt,
+			uint64(out.Retries)<<8|uint64(out.AuxSenses)<<2|flags, 0xf1ee7)
+	}
+	return res
+}

@@ -1,0 +1,244 @@
+package ssdsim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sentinel3d/internal/ftl"
+)
+
+// fleetTestConfig is a small 2-shard fleet with a slow/fast sampler pair.
+func fleetTestConfig() FleetConfig {
+	sim := DefaultConfig()
+	sim.Geo = ftl.Geometry{Channels: 4, ChipsPerChan: 1, DiesPerChip: 2,
+		PlanesPerDie: 2, BlocksPerPlane: 32, PagesPerBlock: 192}
+	sim.Seed = 42
+	return FleetConfig{
+		Sim:         sim,
+		Shards:      2,
+		PremapPages: 4096,
+		Samplers: map[string]RetrySampler{
+			"sentinel": &EmpiricalSampler{PerPage: [][]RetryOutcome{
+				{{Retries: 0}}, {{Retries: 0, AuxSenses: 1}}, {{Retries: 1, AuxSenses: 1}},
+			}},
+			"table": &EmpiricalSampler{PerPage: [][]RetryOutcome{
+				{{Retries: 1}}, {{Retries: 2}}, {{Retries: 4}, {Retries: 6}},
+			}},
+		},
+	}
+}
+
+func TestFleetDeterministicOutcomes(t *testing.T) {
+	results := make([]map[int64]FleetResult, 2)
+	for run := 0; run < 2; run++ {
+		fl, err := NewFleet(fleetTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[int64]FleetResult)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		// Concurrent submitters in run-dependent order: outcomes must not
+		// depend on arrival order.
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 64; i++ {
+					lpn := int64((i*4 + (w+run)%4) * 17 % 4096)
+					res, err := fl.Submit(context.Background(),
+						FleetRead{LPN: lpn, Pages: 2, Policy: "sentinel"})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					res.QueueWait = 0 // wall-clock, excluded from comparison
+					mu.Lock()
+					got[lpn] = res
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		fl.Close()
+		results[run] = got
+	}
+	if len(results[0]) == 0 {
+		t.Fatal("no results")
+	}
+	for lpn, a := range results[0] {
+		if b, ok := results[1][lpn]; !ok || a != b {
+			t.Fatalf("lpn %d: run 0 %+v, run 1 %+v", lpn, a, b)
+		}
+	}
+}
+
+func TestFleetPolicySelectsSampler(t *testing.T) {
+	fl, err := NewFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	sent, err := fl.Submit(context.Background(), FleetRead{LPN: 10, Policy: "sentinel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := fl.Submit(context.Background(), FleetRead{LPN: 10, Policy: "table"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Retries <= sent.Retries && tab.SimUS <= sent.SimUS {
+		t.Fatalf("table read (%+v) not slower than sentinel read (%+v)", tab, sent)
+	}
+	if _, err := fl.Submit(context.Background(), FleetRead{LPN: 10, Policy: "nope"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("unknown policy: got %v", err)
+	}
+}
+
+func TestFleetFailFastCapsRetries(t *testing.T) {
+	fl, err := NewFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	// MSB pages of the table sampler need 4 or 6 retries; a budget of 1
+	// must cut them off and fail the read fast.
+	var sawFast bool
+	for lpn := int64(0); lpn < 64; lpn++ {
+		res, err := fl.Submit(context.Background(),
+			FleetRead{LPN: lpn, Pages: 3, Policy: "table", MaxRetries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Retries > 3 { // 3 pages x <=1 retry
+			t.Fatalf("lpn %d: budget 1 but %d retries", lpn, res.Retries)
+		}
+		if res.FailFast {
+			if !res.Uncorrectable {
+				t.Fatalf("lpn %d: fail-fast read not marked uncorrectable", lpn)
+			}
+			sawFast = true
+		}
+	}
+	if !sawFast {
+		t.Fatal("no read hit the fail-fast cap")
+	}
+}
+
+func TestFleetCorruptionRate(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.CorruptRate = 1
+	fl, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	res, err := fl.Submit(context.Background(), FleetRead{LPN: 3, Policy: "sentinel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Uncorrectable {
+		t.Fatal("corrupt rate 1 but read decoded")
+	}
+}
+
+// stallGate is a Stall hook the tests open and close.
+type stallGate struct {
+	on      atomic.Bool
+	release chan struct{}
+}
+
+func (g *stallGate) stall(int) time.Duration {
+	if g.on.Load() {
+		<-g.release
+	}
+	return 0
+}
+
+func TestFleetBackpressureAndDeadline(t *testing.T) {
+	gate := &stallGate{release: make(chan struct{})}
+	gate.on.Store(true)
+	cfg := fleetTestConfig()
+	cfg.Shards = 1
+	cfg.QueueDepth = 4
+	cfg.Stall = gate.stall
+	fl, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One request occupies the worker (blocked in the stall hook); fill
+	// the queue behind it, then the next submission must bounce.
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.QueueDepth+1)
+	for i := 0; i <= cfg.QueueDepth; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			_, errs[i] = fl.Submit(ctx, FleetRead{LPN: int64(i), Policy: "sentinel"})
+		}(i)
+		// Serialize so occupancy is predictable: worker takes the first,
+		// queue holds the rest.
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := fl.Submit(context.Background(), FleetRead{LPN: 99, Policy: "sentinel"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("full queue: got %v", err)
+	}
+	if frac := fl.MaxQueueFrac(); frac < 0.9 {
+		t.Fatalf("queue frac %g with a full queue", frac)
+	}
+	// Hold the gate until every queued request's 50ms deadline has
+	// passed, then release: the worker must reject them on arrival, not
+	// service them.
+	time.Sleep(120 * time.Millisecond)
+	gate.on.Store(false)
+	close(gate.release)
+	wg.Wait()
+	var expired int
+	for _, err := range errs {
+		if errors.Is(err, context.DeadlineExceeded) {
+			expired++
+		}
+	}
+	if expired == 0 {
+		t.Fatal("no queued request was rejected on arrival after its deadline")
+	}
+
+	fl.Close()
+	if _, err := fl.Submit(context.Background(), FleetRead{LPN: 1, Policy: "sentinel"}); !errors.Is(err, ErrFleetStopped) {
+		t.Fatalf("stopped fleet: got %v", err)
+	}
+}
+
+func TestFleetCloseDrainsQueued(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.Shards = 1
+	fl, err := NewFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := fl.Submit(context.Background(),
+				FleetRead{LPN: int64(i), Policy: "table"}); err == nil {
+				ok.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait() // every submission resolved before Close
+	fl.Close()
+	if ok.Load() != n {
+		t.Fatalf("%d/%d in-flight reads serviced", ok.Load(), n)
+	}
+}
