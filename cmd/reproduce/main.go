@@ -49,6 +49,7 @@ func main() {
 		workload = flag.String("workload", "", "replay: workload name (hm_0, prxy_0, ...)")
 		policy   = flag.String("policy", "", "replay: retry policy (sentinel, table, fallback, synthetic)")
 		shards   = flag.Int("shards", 0, "replay: engine shards (0 = 1)")
+		devices  = flag.Int("devices", 0, "replay: fleet devices the trace is striped across (0 = 1)")
 
 		matrixPath = flag.String("matrix", "", "run a scenario matrix JSON instead of -exp")
 		cellsRe    = flag.String("cells", "", "with -matrix: run only cells whose name matches this regexp")
@@ -104,7 +105,7 @@ func main() {
 	if *matrixPath != "" {
 		runErr = runMatrix(ctx, *matrixPath, *cellsRe, *outDir, *benchOut, reg)
 	} else {
-		runErr = runExp(ctx, *expID, *scaleStr, *kindStr, *requests, *workload, *policy, *shards, reg)
+		runErr = runExp(ctx, *expID, *scaleStr, *kindStr, *requests, *workload, *policy, *shards, *devices, reg)
 	}
 
 	// The metrics snapshot lands before any failure exit, so an
@@ -197,7 +198,7 @@ var aliases = map[string][]string{
 // runExp dispatches one -exp id (or "all") through the registry. Cell
 // failures and cancellation return an error (so main can still flush
 // the metrics snapshot); bad flag values stay fatal on the spot.
-func runExp(ctx context.Context, expID, scaleStr, kindStr string, requests int, workload, policy string, shards int, reg *obs.Registry) error {
+func runExp(ctx context.Context, expID, scaleStr, kindStr string, requests int, workload, policy string, shards, devices int, reg *obs.Registry) error {
 	kinds := []string{"tlc", "qlc"}
 	switch strings.ToLower(kindStr) {
 	case "tlc":
@@ -245,6 +246,7 @@ func runExp(ctx context.Context, expID, scaleStr, kindStr string, requests int, 
 				Workload:   workload,
 				Policy:     policy,
 				Shards:     shards,
+				Devices:    devices,
 			}
 			label := id
 			if k != "" {

@@ -50,9 +50,11 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed")
 		useFallback = flag.Bool("fallback", false, "also sample and replay the sentinel+fallback policy")
 
-		workers = flag.Int("workers", 0, "replay worker goroutines (0 = GOMAXPROCS)")
-		shards  = flag.Int("shards", 1, "device shards replayed concurrently (must divide the channel count)")
-		stream  = flag.Bool("stream", false, "stream the trace through the engine with O(1) histogram latency stats instead of materializing it")
+		workers   = flag.Int("workers", 0, "replay worker goroutines (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 1, "device shards replayed concurrently (must divide the channel count)")
+		devices   = flag.Int("devices", 1, "fleet devices the trace is striped across (RAID-0 by granule)")
+		replicate = flag.Bool("replicate", false, "with -devices N: replicate instead of stripe (reads round-robin, writes fan out)")
+		stream    = flag.Bool("stream", false, "stream the trace through the engine with O(1) histogram latency stats instead of materializing it")
 
 		metricsOut = flag.String("metrics", "", "write a Prometheus-style metrics snapshot here at exit ('-' for stdout)")
 		slowOut    = flag.String("slow", "", "write the slowest-read trace as JSONL here at exit ('-' for stdout)")
@@ -77,10 +79,11 @@ func main() {
 
 	// One registry instruments the whole stack: the chip-level controller
 	// and sentinel engine (via the cell scale) and every replay engine
-	// below (via ReplayConfig.Metrics, sharded to match -shards).
+	// below (via ReplayConfig.Metrics, one registry shard per
+	// (device, shard) target).
 	var reg *obs.Registry
 	if *metricsOut != "" || *slowOut != "" || *debugAddr != "" {
-		reg = obs.NewRegistry(*shards)
+		reg = obs.NewRegistry(*shards * max(*devices, 1))
 		reg.KeepSlowest(*slowN)
 	}
 	if *debugAddr != "" {
@@ -139,6 +142,8 @@ func main() {
 				Requests:   *requests,
 				PE:         *pe,
 				Shards:     *shards,
+				Devices:    *devices,
+				Replicate:  *replicate,
 				Seed:       seed,
 				Collect:    !*stream,
 				Fault:      fault,
@@ -217,6 +222,29 @@ func main() {
 	}
 	fmt.Print(experiments.Table(header, rows))
 
+	// Fleet runs: break the sentinel replay down per device — the rows
+	// come straight from the engine's PerDevice summaries.
+	if *devices > 1 {
+		mode := "striped"
+		if *replicate {
+			mode = "replicated"
+		}
+		fmt.Printf("\nper-device breakdown, sentinel policy (%d devices, %s):\n", *devices, mode)
+		hdr := []string{"workload", "device", "requests", "reads", "mean µs", "p99", "uncorr", "retired"}
+		var drows [][]string
+		for i, name := range names {
+			for d, sum := range perDevice(byPolicy(i, "sentinel")) {
+				drows = append(drows, []string{
+					name, fmt.Sprintf("dev%d", d),
+					fmt.Sprint(sum.Requests), fmt.Sprint(sum.Reads),
+					fmt.Sprintf("%.0f", sum.MeanReadUS), fmt.Sprintf("%.0f", sum.P99ReadUS),
+					fmt.Sprint(sum.UncorrectableReads), fmt.Sprint(sum.RetiredBlocks),
+				})
+			}
+		}
+		fmt.Print(experiments.Table(hdr, drows))
+	}
+
 	dumpSnapshots(*metricsOut, *slowOut, reg)
 }
 
@@ -237,13 +265,26 @@ func dumpSnapshots(metricsOut, slowOut string, reg *obs.Registry) {
 	}
 }
 
-// report extracts a cell's replay summary.
+// report extracts a cell's replay summary (single-device or fleet).
 func report(c scenario.CellResult) *ssdsim.ReportSummary {
-	r, ok := c.Payload.(*scenario.ReplayResult)
-	if !ok {
+	switch r := c.Payload.(type) {
+	case *scenario.ReplayResult:
+		return &r.Report
+	case *scenario.FleetReplayResult:
+		return &r.Report
+	default:
 		log.Fatalf("cell %s: unexpected payload %T", c.Name, c.Payload)
+		return nil
 	}
-	return &r.Report
+}
+
+// perDevice extracts a fleet cell's per-device summaries (nil for
+// single-device cells).
+func perDevice(c scenario.CellResult) []ssdsim.ReportSummary {
+	if r, ok := c.Payload.(*scenario.FleetReplayResult); ok {
+		return r.PerDevice
+	}
+	return nil
 }
 
 // cellName sanitizes a workload or file name into a legal cell name.

@@ -37,8 +37,13 @@ func SyntheticSampler() *ssdsim.EmpiricalSampler {
 
 // ReplayThroughputRow is one engine configuration's measurement.
 type ReplayThroughputRow struct {
+	Devices int
 	Shards  int
 	Workers int
+	// Source is the trace decode path: "generator" regenerates the
+	// synthetic stream each pass, "binary" decodes the pre-encoded
+	// zero-copy format.
+	Source string
 	// Collect marks the exact-percentile mode (every read latency is
 	// retained); the default histogram mode holds O(shards) state.
 	Collect   bool
@@ -59,12 +64,13 @@ type ReplayThroughputResult struct {
 	Rows     []ReplayThroughputRow
 }
 
-// ReplayThroughput measures the sharded streaming replay engine on a
-// synthetic hm_0-shaped trace of the given length: single-shard
-// baseline, sharded at one worker, sharded at GOMAXPROCS workers, and
-// the exact-percentile (CollectLatencies) mode. All histogram-mode rows
-// replay the same sharded device, and the function fails if their
-// reports differ — the worker count must never change the output.
+// ReplayThroughput measures the streaming replay engine on a synthetic
+// hm_0-shaped trace of the given length: single-shard baseline, sharded
+// at one worker, sharded at GOMAXPROCS workers, the exact-percentile
+// (CollectLatencies) mode, and a 4-device fleet decoding the zero-copy
+// binary encoding of the same trace. Rows replaying the same
+// configuration at different worker counts must produce identical
+// reports — the worker count must never change the output.
 func ReplayThroughput(requests int) (*ReplayThroughputResult, error) {
 	cfg := replayDevice()
 	spec, err := trace.WorkloadByName("hm_0")
@@ -74,31 +80,51 @@ func ReplayThroughput(requests int) (*ReplayThroughputResult, error) {
 	spec.WorkingSetPages = int64(cfg.Geo.PagesTotal()) * 6 / 10
 	open := trace.GeneratorOpener(spec, requests, 7)
 
+	gen, err := trace.NewGenerator(spec, requests, 7)
+	if err != nil {
+		return nil, err
+	}
+	data, err := trace.EncodeBinarySource(gen)
+	if err != nil {
+		return nil, err
+	}
+	binOpen, err := trace.BinaryOpener(data)
+	if err != nil {
+		return nil, err
+	}
+
 	maxW := runtime.GOMAXPROCS(0)
 	matrix := []struct {
-		shards, workers int
-		collect         bool
+		devices, shards, workers int
+		collect, binary          bool
 	}{
-		{1, 1, false},
-		{8, 1, false},
-		{8, maxW, false},
-		{8, maxW, true},
+		{1, 1, 1, false, false},
+		{1, 8, 1, false, false},
+		{1, 8, maxW, false, false},
+		{1, 8, maxW, true, false},
+		{4, 8, 1, false, true},
+		{4, 8, maxW, false, true},
 	}
 	res := &ReplayThroughputResult{Requests: requests}
-	var histRep *ssdsim.Report
+	var histRep, fleetRep *ssdsim.Report
 	for _, m := range matrix {
 		eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
-			Sim: cfg, Shards: m.shards, CollectLatencies: m.collect, Precondition: true,
+			Sim: cfg, Shards: m.shards, Devices: m.devices,
+			CollectLatencies: m.collect, Precondition: true,
 		}, SyntheticSampler())
 		if err != nil {
 			return nil, err
+		}
+		src, source := open, "generator"
+		if m.binary {
+			src, source = binOpen, "binary"
 		}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		prev := parallel.SetWorkers(m.workers)
 		start := time.Now()
-		rep, err := eng.Replay(open)
+		rep, err := eng.Replay(src)
 		dur := time.Since(start)
 		parallel.SetWorkers(prev)
 		if err != nil {
@@ -107,18 +133,26 @@ func ReplayThroughput(requests int) (*ReplayThroughputResult, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&after)
 		res.Rows = append(res.Rows, ReplayThroughputRow{
-			Shards: m.shards, Workers: m.workers, Collect: m.collect,
+			Devices: m.devices, Shards: m.shards, Workers: m.workers,
+			Source: source, Collect: m.collect,
 			Seconds:    dur.Seconds(),
 			ReqPerSec:  float64(rep.Requests) / dur.Seconds(),
 			AllocMB:    float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20),
 			LiveHeapMB: float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / (1 << 20),
 		})
 		runtime.KeepAlive(rep)
-		if !m.collect && m.shards == 8 {
+		switch {
+		case !m.collect && m.devices == 1 && m.shards == 8:
 			if histRep == nil {
 				histRep = rep
 			} else if !reflect.DeepEqual(rep, histRep) {
 				return nil, fmt.Errorf("experiments: replay report diverged at %d workers", m.workers)
+			}
+		case m.devices == 4:
+			if fleetRep == nil {
+				fleetRep = rep
+			} else if !reflect.DeepEqual(rep, fleetRep) {
+				return nil, fmt.Errorf("experiments: fleet replay report diverged at %d workers", m.workers)
 			}
 		}
 	}
@@ -134,7 +168,8 @@ func (r *ReplayThroughputResult) Render() string {
 			mode = "collect"
 		}
 		rows = append(rows, []string{
-			fmt.Sprint(row.Shards), fmt.Sprint(row.Workers), mode,
+			fmt.Sprint(row.Devices), fmt.Sprint(row.Shards), fmt.Sprint(row.Workers),
+			row.Source, mode,
 			fmt.Sprintf("%.2f", row.Seconds),
 			fmt.Sprintf("%.0f", row.ReqPerSec),
 			fmt.Sprintf("%.1f", row.AllocMB),
@@ -142,5 +177,5 @@ func (r *ReplayThroughputResult) Render() string {
 		})
 	}
 	return fmt.Sprintf("replay of %d hm_0-shaped requests (8-channel device)\n%s",
-		r.Requests, Table([]string{"shards", "workers", "mode", "sec", "req/s", "alloc MB", "live MB"}, rows))
+		r.Requests, Table([]string{"devices", "shards", "workers", "source", "mode", "sec", "req/s", "alloc MB", "live MB"}, rows))
 }

@@ -91,13 +91,26 @@ type PEFaultModel interface {
 }
 
 type blockMeta struct {
-	valid    []int64 // valid[page] = LPN stored there, or invalidLPN
+	// valid[page] holds the stored LPN biased by one (lpn+1), with 0
+	// meaning invalid. The bias lets a freshly allocated (zeroed) array
+	// start in the all-invalid state without an initialization sweep,
+	// and lets erase clear pages with a memclr — at fleet scale the FTLs
+	// allocate tens of megabytes of page metadata per replay, most of
+	// which is never written, so the zero-state trick keeps construction
+	// proportional to pages touched rather than pages provisioned.
+	valid    []int64
 	validCnt int
 	writePtr int // next free page, PagesPerBlock when full
 	erases   int
 	isActive bool
 	retired  bool // permanently out of service (program/erase failure)
 }
+
+// lpnAt returns the LPN stored at page, or invalidLPN.
+func (bm *blockMeta) lpnAt(page int) int64 { return bm.valid[page] - 1 }
+
+// setLPN marks page as holding lpn (invalidLPN clears it).
+func (bm *blockMeta) setLPN(page int, lpn int64) { bm.valid[page] = lpn + 1 }
 
 type planeState struct {
 	blocks    []blockMeta
@@ -109,8 +122,13 @@ type planeState struct {
 // use; the simulator drives it from one goroutine.
 type FTL struct {
 	geo Geometry
-	// map from LPN to physical page.
-	l2p       map[int64]PPN
+	// map from LPN to physical page. Always present; when dense is
+	// enabled it only holds LPNs at or above the dense bound.
+	l2p map[int64]PPN
+	// dense, when non-nil, maps LPNs in [0, len(dense)) to packed
+	// physical pages biased by one (0 = unmapped): a slice load replaces
+	// a map probe on the replay hot path. See SetLPNBound.
+	dense     []uint64
 	planes    []planeState
 	nextPlane int
 
@@ -148,11 +166,11 @@ func New(geo Geometry) (*FTL, error) {
 	for p := range f.planes {
 		ps := &f.planes[p]
 		ps.blocks = make([]blockMeta, geo.BlocksPerPlane)
+		// One backing array per plane, zero-valued = all pages invalid
+		// (see blockMeta.valid); blocks slice it without touching it.
+		backing := make([]int64, geo.BlocksPerPlane*geo.PagesPerBlock)
 		for b := range ps.blocks {
-			ps.blocks[b].valid = make([]int64, geo.PagesPerBlock)
-			for i := range ps.blocks[b].valid {
-				ps.blocks[b].valid[i] = invalidLPN
-			}
+			ps.blocks[b].valid = backing[b*geo.PagesPerBlock : (b+1)*geo.PagesPerBlock]
 			if b > 0 {
 				ps.freeQueue = append(ps.freeQueue, b)
 			}
@@ -163,13 +181,74 @@ func New(geo Geometry) (*FTL, error) {
 	return f, nil
 }
 
+// packedPlaneBits et al. fix the dense entry layout: plane<<40 |
+// block<<20 | page, biased by one so a zeroed slice means "unmapped".
+const (
+	packedPageBits  = 20
+	packedBlockBits = 20
+	packedPlaneMax  = 1 << 23
+)
+
+func packPPN(p PPN) uint64 {
+	return uint64(p.Plane)<<(packedPageBits+packedBlockBits) |
+		uint64(p.Block)<<packedPageBits | uint64(p.Page)
+}
+
+func unpackPPN(v uint64) PPN {
+	return PPN{
+		Plane: int(v >> (packedPageBits + packedBlockBits)),
+		Block: int(v >> packedPageBits & (1<<packedBlockBits - 1)),
+		Page:  int(v & (1<<packedPageBits - 1)),
+	}
+}
+
+// SetLPNBound enables the dense L2P path for LPNs in [0, maxLPN]: a
+// packed-word slice indexed by LPN replaces the map probe on every
+// translate, invalidate and remap. LPNs above the bound (or a bound the
+// geometry cannot pack) silently stay on the map, so the bound is a
+// performance hint, never a correctness constraint. Call it before the
+// first write; enabling it mid-stream would strand existing map entries.
+func (f *FTL) SetLPNBound(maxLPN int64) {
+	const maxDenseEntries = 1 << 28 // 2 GiB of packed words
+	if maxLPN < 0 || maxLPN+1 > maxDenseEntries || len(f.l2p) > 0 {
+		return
+	}
+	if f.geo.PagesPerBlock > 1<<packedPageBits ||
+		f.geo.BlocksPerPlane > 1<<packedBlockBits ||
+		f.geo.Planes() > packedPlaneMax {
+		return
+	}
+	f.dense = make([]uint64, maxLPN+1)
+}
+
+// l2pGet looks up an LPN in the dense slice or the overflow map.
+func (f *FTL) l2pGet(lpn int64) (PPN, bool) {
+	if uint64(lpn) < uint64(len(f.dense)) {
+		v := f.dense[lpn]
+		if v == 0 {
+			return PPN{}, false
+		}
+		return unpackPPN(v - 1), true
+	}
+	p, ok := f.l2p[lpn]
+	return p, ok
+}
+
+// l2pSet maps an LPN.
+func (f *FTL) l2pSet(lpn int64, p PPN) {
+	if uint64(lpn) < uint64(len(f.dense)) {
+		f.dense[lpn] = packPPN(p) + 1
+		return
+	}
+	f.l2p[lpn] = p
+}
+
 // Geometry returns the FTL's geometry.
 func (f *FTL) Geometry() Geometry { return f.geo }
 
 // Translate returns the physical page of an LPN.
 func (f *FTL) Translate(lpn int64) (PPN, bool) {
-	p, ok := f.l2p[lpn]
-	return p, ok
+	return f.l2pGet(lpn)
 }
 
 // FreeBlocks returns the number of erased spare blocks in plane p.
@@ -195,40 +274,58 @@ type WriteResult struct {
 // low. Planes are filled round-robin, which stripes sequential writes
 // across channels exactly like SSDSim's dynamic allocation.
 func (f *FTL) Write(lpn int64) (WriteResult, error) {
+	var res WriteResult
+	if err := f.WriteInto(lpn, &res); err != nil {
+		return WriteResult{}, err
+	}
+	return res, nil
+}
+
+// WriteInto is Write with a caller-owned result: res is reset and filled
+// in place, so a replay loop can reuse one WriteResult (and its
+// Migrations capacity) across millions of writes instead of copying a
+// fresh one out per page.
+func (f *FTL) WriteInto(lpn int64, res *WriteResult) error {
+	res.Target = PPN{}
+	res.Migrations = res.Migrations[:0]
+	res.ErasedBlocks = 0
+	res.RetiredBlocks = 0
 	if lpn < 0 {
-		return WriteResult{}, fmt.Errorf("ftl: negative LPN %d", lpn)
+		return fmt.Errorf("ftl: negative LPN %d", lpn)
 	}
 	// Invalidate the old copy.
-	if old, ok := f.l2p[lpn]; ok {
+	if old, ok := f.l2pGet(lpn); ok {
 		bm := &f.planes[old.Plane].blocks[old.Block]
-		if bm.valid[old.Page] == lpn {
-			bm.valid[old.Page] = invalidLPN
+		if bm.lpnAt(old.Page) == lpn {
+			bm.setLPN(old.Page, invalidLPN)
 			bm.validCnt--
 		}
 	}
 	plane := f.nextPlane
-	f.nextPlane = (f.nextPlane + 1) % len(f.planes)
-
-	var res WriteResult
-	tgt, err := f.allocate(plane, lpn, &res, true)
-	if err != nil {
-		return WriteResult{}, err
+	f.nextPlane++
+	if f.nextPlane == len(f.planes) {
+		f.nextPlane = 0
 	}
-	f.l2p[lpn] = tgt
+
+	tgt, err := f.allocate(plane, lpn, res, true)
+	if err != nil {
+		return err
+	}
+	f.l2pSet(lpn, tgt)
 	res.Target = tgt
 	f.HostWrites++
 	// Keep the free-block watermark: run GC until replenished or until it
 	// stops making progress (all candidate victims fully valid).
 	for len(f.planes[plane].freeQueue) < f.GCThreshold {
-		progressed, err := f.collect(plane, &res)
+		progressed, err := f.collect(plane, res)
 		if err != nil {
-			return WriteResult{}, err
+			return err
 		}
 		if !progressed {
 			break
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // allocate takes the next free page in the plane's active block, rolling
@@ -261,7 +358,7 @@ func (f *FTL) allocate(plane int, lpn int64, res *WriteResult, checkFaults bool)
 			continue
 		}
 		bm.writePtr++
-		bm.valid[page] = lpn
+		bm.setLPN(page, lpn)
 		bm.validCnt++
 		return PPN{Plane: plane, Block: ps.active, Page: page}, nil
 	}
@@ -285,19 +382,20 @@ func (f *FTL) retireActive(plane int, res *WriteResult) error {
 	ps.active = ps.freeQueue[0]
 	ps.freeQueue = ps.freeQueue[1:]
 	ps.blocks[ps.active].isActive = true
-	for page, lpn := range bm.valid {
-		if lpn == invalidLPN {
+	for page, lpn1 := range bm.valid {
+		if lpn1 == 0 {
 			continue
 		}
+		lpn := lpn1 - 1
 		res.Migrations = append(res.Migrations,
 			PPN{Plane: plane, Block: victim, Page: page})
-		bm.valid[page] = invalidLPN
+		bm.setLPN(page, invalidLPN)
 		bm.validCnt--
 		tgt, err := f.allocate(plane, lpn, res, false)
 		if err != nil {
 			return err
 		}
-		f.l2p[lpn] = tgt
+		f.l2pSet(lpn, tgt)
 		f.GCWrites++
 	}
 	return nil
@@ -326,19 +424,20 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 		return false, nil
 	}
 	bm := &ps.blocks[victim]
-	for page, lpn := range bm.valid {
-		if lpn == invalidLPN {
+	for page, lpn1 := range bm.valid {
+		if lpn1 == 0 {
 			continue
 		}
+		lpn := lpn1 - 1
 		res.Migrations = append(res.Migrations,
 			PPN{Plane: plane, Block: victim, Page: page})
-		bm.valid[page] = invalidLPN
+		bm.setLPN(page, invalidLPN)
 		bm.validCnt--
 		tgt, err := f.allocate(plane, lpn, res, true)
 		if err != nil {
 			return false, err
 		}
-		f.l2p[lpn] = tgt
+		f.l2pSet(lpn, tgt)
 		f.GCWrites++
 	}
 	// Erase. A failed erase wears the block without freeing it; the FTL
@@ -354,9 +453,7 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 	bm.writePtr = 0
 	bm.validCnt = 0
 	bm.erases++
-	for i := range bm.valid {
-		bm.valid[i] = invalidLPN
-	}
+	clear(bm.valid) // zero = invalid; compiles to a memclr
 	f.Erases++
 	res.ErasedBlocks++
 	ps.freeQueue = append(ps.freeQueue, victim)
@@ -373,14 +470,29 @@ func (f *FTL) BlockRetired(plane, block int) bool {
 	return f.planes[plane].blocks[block].retired
 }
 
-// CheckInvariants verifies internal consistency: every L2P entry points
-// at a page recording that LPN, and valid counts match. Tests call this.
+// CheckInvariants verifies internal consistency: every L2P entry (dense
+// or map) points at a page recording that LPN, and valid counts match.
+// Tests call this.
 func (f *FTL) CheckInvariants() error {
-	for lpn, ppn := range f.l2p {
+	check := func(lpn int64, ppn PPN) error {
 		bm := &f.planes[ppn.Plane].blocks[ppn.Block]
-		if bm.valid[ppn.Page] != lpn {
+		if bm.lpnAt(ppn.Page) != lpn {
 			return fmt.Errorf("ftl: L2P %d -> %+v but page holds %d",
-				lpn, ppn, bm.valid[ppn.Page])
+				lpn, ppn, bm.lpnAt(ppn.Page))
+		}
+		return nil
+	}
+	for lpn, ppn := range f.l2p {
+		if err := check(lpn, ppn); err != nil {
+			return err
+		}
+	}
+	for lpn, v := range f.dense {
+		if v == 0 {
+			continue
+		}
+		if err := check(int64(lpn), unpackPPN(v-1)); err != nil {
+			return err
 		}
 	}
 	for p := range f.planes {
@@ -388,7 +500,7 @@ func (f *FTL) CheckInvariants() error {
 			bm := &f.planes[p].blocks[b]
 			cnt := 0
 			for _, v := range bm.valid {
-				if v != invalidLPN {
+				if v != 0 {
 					cnt++
 				}
 			}

@@ -104,6 +104,48 @@ func forEach(workers, n int, fn func(i int)) {
 	}
 }
 
+// RunWorkers runs fn(w) for every w in [0, n) on n dedicated goroutines
+// and blocks until all of them return. Unlike ForEach, which hands out
+// indices dynamically, each body keeps its worker index for the pool's
+// lifetime — the shape long-lived per-worker state (queues, arenas)
+// needs. With n == 1 fn runs inline on the caller's goroutine. A panic
+// in any fn is re-raised on the caller's goroutine after every worker
+// exits.
+func RunWorkers(n int, fn func(w int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
 // ForEachErr is ForEach for index bodies that can fail: it runs every
 // index and returns the error of the lowest failing index (deterministic
 // regardless of scheduling), or nil.

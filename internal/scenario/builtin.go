@@ -294,9 +294,51 @@ func (r *ReplayResult) Render() string {
 		}})
 }
 
+// FleetReplayResult is the payload of a multi-device replay cell: the
+// merged fleet report plus one summary per device. It is a separate
+// type from ReplayResult so single-device cells keep their frozen
+// digest surface.
+type FleetReplayResult struct {
+	Workload  string
+	Policy    string
+	Shards    int
+	Devices   int
+	Replicate bool
+	Report    ssdsim.ReportSummary
+	PerDevice []ssdsim.ReportSummary
+}
+
+// Render prints the merged fleet row followed by one row per device.
+func (r *FleetReplayResult) Render() string {
+	mode := "striped"
+	if r.Replicate {
+		mode = "replicated"
+	}
+	rows := [][]string{fleetRow("fleet", &r.Report)}
+	for d := range r.PerDevice {
+		rows = append(rows, fleetRow(fmt.Sprintf("dev%d", d), &r.PerDevice[d]))
+	}
+	return fmt.Sprintf("workload %s, policy %s, %d devices (%s) x %d shards\n%s",
+		r.Workload, r.Policy, r.Devices, mode, r.Shards,
+		experiments.Table(
+			[]string{"device", "requests", "reads", "mean µs", "p95", "p99", "uncorr", "fallback", "retired"},
+			rows))
+}
+
+func fleetRow(label string, rep *ssdsim.ReportSummary) []string {
+	return []string{
+		label, fmt.Sprint(rep.Requests), fmt.Sprint(rep.Reads),
+		fmt.Sprintf("%.1f", rep.MeanReadUS),
+		fmt.Sprintf("%.1f", rep.P95ReadUS), fmt.Sprintf("%.1f", rep.P99ReadUS),
+		fmt.Sprint(rep.UncorrectableReads), fmt.Sprint(rep.FallbackReads),
+		fmt.Sprint(rep.RetiredBlocks),
+	}
+}
+
 // runReplay is the scenario-native replay runner: one workload under
-// one retry policy through the sharded streaming engine. The report is
-// deterministic (simulated latencies, shard-order merges), so replay
+// one retry policy through the sharded streaming engine — across a
+// fleet of devices when the cell sets Devices. The report is
+// deterministic (simulated latencies, fixed-order merges), so replay
 // cells golden-gate like figures; wall-clock req/s goes to metrics.
 func runReplay(ctx *Ctx) (*Outcome, error) {
 	spec := ctx.Spec
@@ -319,8 +361,12 @@ func runReplay(ctx *Ctx) (*Outcome, error) {
 	if shards == 0 {
 		shards = 1
 	}
+	devices := spec.Devices
+	if devices == 0 {
+		devices = 1
+	}
 	var reg = ctx.Obs
-	if reg != nil && reg.Shards() < shards {
+	if reg != nil && reg.Shards() < devices*shards {
 		// A CLI-level registry narrower than the cell's shard count
 		// cannot hold per-shard cells; run uninstrumented rather than
 		// failing the cell.
@@ -345,7 +391,7 @@ func runReplay(ctx *Ctx) (*Outcome, error) {
 		open = trace.GeneratorOpener(ws, requests, mathx.Mix(ctx.Seed, 0x7ace))
 	}
 	eng, err := ssdsim.NewEngine(ssdsim.ReplayConfig{
-		Sim: simCfg, Shards: shards,
+		Sim: simCfg, Shards: shards, Devices: devices, Replicate: spec.Replicate,
 		CollectLatencies: spec.Collect, Precondition: true,
 		Metrics: reg, Ctx: ctx.Context,
 	}, sampler)
@@ -362,7 +408,16 @@ func runReplay(ctx *Ctx) (*Outcome, error) {
 	if policy == "" {
 		policy = "sentinel"
 	}
-	res := &ReplayResult{Workload: workload, Policy: policy, Shards: shards, Report: rep.Summary()}
+	var res renderer
+	if devices > 1 {
+		res = &FleetReplayResult{
+			Workload: workload, Policy: policy, Shards: shards,
+			Devices: devices, Replicate: spec.Replicate,
+			Report: rep.Summary(), PerDevice: rep.PerDevice,
+		}
+	} else {
+		res = &ReplayResult{Workload: workload, Policy: policy, Shards: shards, Report: rep.Summary()}
+	}
 	metrics := map[string]float64{
 		"req/s":   float64(rep.Requests) / wall,
 		"mean-us": rep.MeanReadUS,

@@ -46,8 +46,10 @@ type Axes struct {
 	Kind       []string `json:"kind,omitempty"`
 	Policy     []string `json:"policy,omitempty"`
 	Workload   []string `json:"workload,omitempty"`
-	// Shards and Requests are numeric axes ("s<N>" / "r<N>" name parts).
+	// Shards, Devices and Requests are numeric axes ("s<N>" / "d<N>" /
+	// "r<N>" name parts).
 	Shards   []int `json:"shards,omitempty"`
+	Devices  []int `json:"devices,omitempty"`
 	Requests []int `json:"requests,omitempty"`
 }
 
@@ -175,6 +177,7 @@ func (a *Axes) expand(defaults Spec) ([]Spec, error) {
 		strAxis(a.Policy, func(c *Spec, v string) { c.Policy = v }, ""),
 		strAxis(a.Workload, func(c *Spec, v string) { c.Workload = v }, ""),
 		intAxis(a.Shards, func(c *Spec, v int) { c.Shards = v }, "s"),
+		intAxis(a.Devices, func(c *Spec, v int) { c.Devices = v }, "d"),
 		intAxis(a.Requests, func(c *Spec, v int) { c.Requests = v }, "r"),
 	}
 	total := 1
@@ -254,6 +257,10 @@ func mergeSpec(c, def Spec) Spec {
 	if c.Shards == 0 {
 		c.Shards = def.Shards
 	}
+	if c.Devices == 0 {
+		c.Devices = def.Devices
+	}
+	c.Replicate = c.Replicate || def.Replicate
 	if c.Workers == 0 {
 		c.Workers = def.Workers
 	}

@@ -59,6 +59,13 @@ type Spec struct {
 	// Shards is the replay engine's device shard count (default 1). It
 	// must divide the device's channel count.
 	Shards int `json:"shards,omitempty"`
+	// Devices is the replay engine's fleet size (default 1): one trace
+	// striped (or, with Replicate, mirrored) across this many devices,
+	// each a full copy of the cell's geometry.
+	Devices int `json:"devices,omitempty"`
+	// Replicate switches a multi-device replay cell from RAID-0 striping
+	// to replication (reads round-robin, writes fan out to every device).
+	Replicate bool `json:"replicate,omitempty"`
 	// Workers pins the worker pool for this cell. 0 (the default)
 	// inherits the global pool — results are byte-identical either way;
 	// pinning only matters for throughput measurements, and pinned cells
@@ -246,7 +253,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: cell %q: %w", s.Name, err)
 		}
 	}
-	if s.Requests < 0 || s.Shards < 0 || s.Workers < 0 || s.PE < 0 ||
+	if s.Requests < 0 || s.Shards < 0 || s.Devices < 0 || s.Workers < 0 || s.PE < 0 ||
 		s.Hours < 0 || s.Wordlines < 0 || s.SweepV < 0 || s.Obs.SlowN < 0 {
 		return fmt.Errorf("scenario: cell %q: negative count", s.Name)
 	}

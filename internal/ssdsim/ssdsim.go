@@ -85,6 +85,24 @@ func (e *EmpiricalSampler) Sample(pageType int, rng *mathx.Rand) RetryOutcome {
 	return pool[rng.Intn(len(pool))]
 }
 
+// zeroOutcome backs sampleRef's empty-pool return.
+var zeroOutcome RetryOutcome
+
+// sampleRef is Sample without the outcome copy: it returns a pointer
+// into the pool (treat as read-only). It consumes exactly the same RNG
+// draws as Sample, so the two are interchangeable mid-stream. The
+// page-type validation that Sample routes through pool() is skipped —
+// checkSampler pinned PageTypes == Bits at construction and the
+// caller's page-type table never exceeds Bits — which keeps the whole
+// draw inlinable.
+func (e *EmpiricalSampler) sampleRef(pageType int, rng *mathx.Rand) *RetryOutcome {
+	pool := e.PerPage[pageType]
+	if len(pool) == 0 {
+		return &zeroOutcome
+	}
+	return &pool[rng.Intn(len(pool))]
+}
+
 // MeanRetries returns the average retry count of page type p's pool.
 func (e *EmpiricalSampler) MeanRetries(p int) float64 {
 	pool := e.pool(p)
@@ -171,6 +189,14 @@ type Config struct {
 	EraseUS   float64
 	// Seed drives retry sampling.
 	Seed uint64
+	// MaxLPN, when positive, is the highest logical page the trace can
+	// touch. It is purely a performance hint: the FTL sizes a dense
+	// mapping array from it (LPNs above the bound fall back to the map)
+	// and the precondition pass deduplicates with a bitmap instead of a
+	// sort. Reports are byte-identical with and without it. The replay
+	// engine fills it automatically from sources that know their bound
+	// (the synthetic generator, the binary trace format).
+	MaxLPN int64
 	// PEFaults optionally injects program/erase failures into the FTL
 	// (see internal/fault); retired blocks are counted in the report.
 	PEFaults ftl.PEFaultModel
@@ -253,6 +279,12 @@ type Report struct {
 	// running maximum (see trace.MSRSource). Zero for in-order traces
 	// and for sources that do not report reordering.
 	ReorderedArrivals int64
+	// PerDevice holds one summary per fleet device, in device order,
+	// when the replay engine ran with Devices > 1; nil otherwise (a
+	// single-device replay is byte-identical to the pre-fleet engine,
+	// including this field). Per-device rows never carry the latency
+	// vector — the merged report owns it.
+	PerDevice []ReportSummary
 
 	// Accumulator state. collect appends read latencies for the exact
 	// percentile path; hist records them into the log-bucketed histogram
@@ -370,6 +402,24 @@ type Sim struct {
 
 	dieFree  []float64
 	chanFree []float64
+
+	// Hot-path caches. esampler devirtualizes the common sampler so the
+	// per-read draw is a direct call; planeDie/planeChan/pageType replace
+	// the per-page divisions with table lookups; the latency sums fold
+	// cfg.Lat's per-read arithmetic into constants (computed exactly as
+	// the inline expressions did, so latencies stay bit-identical); wres
+	// and sout are reused per-call scratch (one per Sim — Sims are
+	// single-goroutine by contract).
+	esampler    *EmpiricalSampler
+	planeDie    []int32
+	planeChan   []int32
+	pageType    []uint8
+	senseByType [4]float64 // SenseBase + levels(pt)*SensePerLevel
+	auxSenseUS  float64    // SenseBase + SensePerLevel
+	xferBurstUS float64    // Transfer + ECCDecode
+	migProgUS   float64    // GC migration: MSB-page read + program
+	wres        ftl.WriteResult
+	sout        RetryOutcome
 }
 
 // checkSampler verifies the sampler exists and matches the config's
@@ -397,9 +447,12 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.MaxLPN > 0 {
+		f.SetLPNBound(cfg.MaxLPN)
+	}
 	f.Faults = cfg.PEFaults
 	f.Obs = ftl.NewMetrics(cfg.Obs)
-	return &Sim{
+	s := &Sim{
 		cfg:      cfg,
 		ftl:      f,
 		sampler:  sampler,
@@ -407,24 +460,61 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 		met:      newSimMetrics(cfg.Obs),
 		dieFree:  make([]float64, cfg.Geo.Dies()),
 		chanFree: make([]float64, cfg.Geo.Channels),
-	}, nil
+	}
+	s.esampler, _ = sampler.(*EmpiricalSampler)
+	planes := cfg.Geo.Planes()
+	s.planeDie = make([]int32, planes)
+	s.planeChan = make([]int32, planes)
+	for p := 0; p < planes; p++ {
+		s.planeDie[p] = int32(cfg.Geo.Die(p))
+		s.planeChan[p] = int32(cfg.Geo.Channel(p))
+	}
+	s.pageType = make([]uint8, cfg.Geo.PagesPerBlock)
+	for p := range s.pageType {
+		s.pageType[p] = uint8(p % cfg.Bits)
+	}
+	for pt := 0; pt < cfg.Bits; pt++ {
+		s.senseByType[pt] = cfg.Lat.SenseBase + float64(levelsOf(pt))*cfg.Lat.SensePerLevel
+	}
+	s.auxSenseUS = cfg.Lat.SenseBase + cfg.Lat.SensePerLevel
+	s.xferBurstUS = cfg.Lat.Transfer + cfg.Lat.ECCDecode
+	migRead := cfg.Lat.SenseBase + float64(levelsOf(cfg.Bits-1))*cfg.Lat.SensePerLevel
+	s.migProgUS = migRead + cfg.ProgramUS
+	return s, nil
 }
 
-// lpnDedup accumulates LPNs and yields them sorted and unique while
-// keeping memory bounded by the unique count (plus one batch), not the
-// trace length: batches are sorted and folded into the deduplicated
-// slice whenever they fill. Compared with the map[int64]bool dedup it
-// replaces, it allocates a handful of slices instead of one map cell
-// per LPN and visits memory sequentially.
+// lpnDedup accumulates LPNs and yields them in ascending unique order
+// while keeping memory bounded by the unique count (plus one batch),
+// not the trace length. With a known LPN bound it degenerates to a
+// bitmap — insert is one OR and the visit order falls out of the word
+// scan, no sorting at all; out-of-bound LPNs (a wrong hint, negative
+// addresses) spill to the sorted-slice path, so the bound is only ever
+// a hint. Without a bound, batches are sorted individually and merged
+// into the deduplicated slice, which replaces the old re-sort of the
+// whole accumulated set on every fold.
 type lpnDedup struct {
-	sorted []int64 // ascending, unique
+	bits   *mathx.Bitset // non-nil when the LPN bound is known
+	sorted []int64       // ascending, unique; spill-only in bitmap mode
 	batch  []int64
+}
+
+// newLPNDedup sizes the dedup for LPNs in [0, maxLPN]; maxLPN <= 0
+// means unknown (sorted mode).
+func newLPNDedup(maxLPN int64) lpnDedup {
+	if maxLPN > 0 {
+		return lpnDedup{bits: mathx.NewBitset(maxLPN + 1)}
+	}
+	return lpnDedup{}
 }
 
 // lpnDedupBatch bounds the unsorted batch; 1<<18 int64s is 2 MiB.
 const lpnDedupBatch = 1 << 18
 
 func (d *lpnDedup) add(lpn int64) {
+	if d.bits != nil && uint64(lpn) < uint64(d.bits.Cap()) {
+		d.bits.Set(lpn)
+		return
+	}
 	if d.batch == nil {
 		d.batch = make([]int64, 0, lpnDedupBatch)
 	}
@@ -434,28 +524,124 @@ func (d *lpnDedup) add(lpn int64) {
 	}
 }
 
-// compact folds the batch into the sorted slice.
+// addRange inserts the n consecutive LPNs starting at lpn — one
+// request's page span. In bitmap mode with the whole span in range it
+// collapses to word-wise ORs; otherwise it falls back to per-page adds.
+func (d *lpnDedup) addRange(lpn int64, n int) {
+	if d.bits != nil && lpn >= 0 && n > 0 && lpn+int64(n) <= d.bits.Cap() {
+		d.bits.SetRange(lpn, int64(n))
+		return
+	}
+	for p := 0; p < n; p++ {
+		d.add(lpn + int64(p))
+	}
+}
+
+// compact folds the batch into the sorted slice: the batch is sorted on
+// its own and merged with the (already sorted) accumulated set, so each
+// fold costs O(B log B + U) instead of re-sorting all U accumulated
+// LPNs every time.
 func (d *lpnDedup) compact() {
 	if len(d.batch) == 0 {
 		return
 	}
-	d.sorted = append(d.sorted, d.batch...)
+	slices.Sort(d.batch)
+	batch := slices.Compact(d.batch)
+	if len(d.sorted) == 0 {
+		d.sorted = append(d.sorted, batch...)
+		d.batch = d.batch[:0]
+		return
+	}
+	merged := make([]int64, 0, len(d.sorted)+len(batch))
+	i, j := 0, 0
+	for i < len(d.sorted) && j < len(batch) {
+		a, b := d.sorted[i], batch[j]
+		switch {
+		case a < b:
+			merged = append(merged, a)
+			i++
+		case b < a:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, a)
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, d.sorted[i:]...)
+	merged = append(merged, batch[j:]...)
+	d.sorted = merged
 	d.batch = d.batch[:0]
-	slices.Sort(d.sorted)
-	d.sorted = slices.Compact(d.sorted)
 }
+
+// each yields every accumulated LPN exactly once in ascending order —
+// the same order whichever mode accumulated them. In bitmap mode the
+// spill slice holds only out-of-universe values (negatives below it,
+// over-bound above it), so the three runs concatenate in order.
+func (d *lpnDedup) each(fn func(lpn int64) error) error {
+	d.compact()
+	i := 0
+	if d.bits != nil {
+		for i < len(d.sorted) && d.sorted[i] < 0 {
+			if err := fn(d.sorted[i]); err != nil {
+				return err
+			}
+			i++
+		}
+		if err := d.bits.VisitErr(fn); err != nil {
+			return err
+		}
+	}
+	for ; i < len(d.sorted); i++ {
+		if err := fn(d.sorted[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// preconditionBitmapMaxLPN caps the bound the slice Precondition will
+// derive on its own: a 1<<27-page universe is a 16 MiB bitmap. Sparser
+// traces use the sort path (or set Config.MaxLPN explicitly).
+const preconditionBitmapMaxLPN = 1 << 27
 
 // Precondition maps every LPN a trace will read, so reads hit valid data
 // (SSDSim warms the device the same way). It costs no simulated time.
+// The trace is in hand, so the LPN bound is scanned from it and compact
+// traces dedup with a bitmap instead of a sort.
 func (s *Sim) Precondition(reqs []trace.Request) error {
-	return s.PreconditionSource(trace.Sliced(reqs))
+	bound := s.cfg.MaxLPN
+	if bound == 0 {
+		var max int64 = -1
+		for i := range reqs {
+			if last := reqs[i].LPN + int64(reqs[i].Pages) - 1; last > max {
+				max = last
+			}
+		}
+		if max >= 0 && max < preconditionBitmapMaxLPN {
+			bound = max
+		}
+	}
+	return s.preconditionFrom(trace.Sliced(reqs), bound)
 }
 
 // PreconditionSource is Precondition over a streamed trace: it writes
 // the trace's LPNs in ascending unique order (the same order the
 // map-based dedup produced) without materializing the request stream.
+// Sources that know their LPN bound (the generator, the binary format)
+// get the bitmap dedup automatically.
 func (s *Sim) PreconditionSource(src trace.Source) error {
-	var d lpnDedup
+	bound := s.cfg.MaxLPN
+	if bound == 0 {
+		if m, ok := src.(interface{ MaxLPN() int64 }); ok {
+			bound = m.MaxLPN()
+		}
+	}
+	return s.preconditionFrom(src, bound)
+}
+
+func (s *Sim) preconditionFrom(src trace.Source, maxLPN int64) error {
+	d := newLPNDedup(maxLPN)
 	for {
 		r, ok, err := src.Next()
 		if err != nil {
@@ -464,17 +650,11 @@ func (s *Sim) PreconditionSource(src trace.Source) error {
 		if !ok {
 			break
 		}
-		for p := 0; p < r.Pages; p++ {
-			d.add(r.LPN + int64(p))
-		}
+		d.addRange(r.LPN, r.Pages)
 	}
-	d.compact()
-	for _, lpn := range d.sorted {
-		if _, err := s.ftl.Write(lpn); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.each(func(lpn int64) error {
+		return s.ftl.WriteInto(lpn, &s.wres)
+	})
 }
 
 // Run services the requests in arrival order and returns the report
@@ -514,6 +694,23 @@ func (s *Sim) replay(src trace.Source, rep *Report) error {
 			return err
 		}
 	}
+}
+
+// replaySlice is replay over a materialized block of requests: the
+// engine's block handoff recycles fixed-size arrays through a freelist,
+// and servicing them directly skips a Source interface call per
+// request. Draining a block counts as one chunk drain for the paced
+// metric flush, exactly like replay's source drain — so the flush
+// schedule stays a pure function of the demuxed stream.
+func (s *Sim) replaySlice(reqs []trace.Request, rep *Report) error {
+	for i := range reqs {
+		if err := s.service(reqs[i], rep); err != nil {
+			return err
+		}
+	}
+	s.met.chunkDrained()
+	s.ftl.FlushObs()
+	return nil
 }
 
 // flushMetrics force-publishes every accumulated metric delta; callers
@@ -576,8 +773,14 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 		s.met.unmappedRead()
 		return arrive + s.cfg.Lat.MapLookup, nil
 	}
-	pageType := ppn.Page % s.cfg.Bits
-	out := s.sampler.Sample(pageType, s.rng)
+	pageType := int(s.pageType[ppn.Page])
+	var out *RetryOutcome
+	if s.esampler != nil {
+		out = s.esampler.sampleRef(pageType, s.rng)
+	} else {
+		s.sout = s.sampler.Sample(pageType, s.rng)
+		out = &s.sout
+	}
 	rep.TotalRetries += int64(out.Retries)
 	if out.Uncorrectable {
 		rep.UncorrectableReads++
@@ -586,14 +789,12 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 		rep.FallbackReads++
 	}
 	attempts := float64(out.Retries + 1)
-	lat := s.cfg.Lat
-	dieTime := attempts*(lat.SenseBase+float64(levelsOf(pageType))*lat.SensePerLevel) +
-		float64(out.AuxSenses)*(lat.SenseBase+lat.SensePerLevel)
-	chanTime := attempts*(lat.Transfer+lat.ECCDecode) +
-		float64(out.AuxSenses)*lat.Transfer
+	aux := float64(out.AuxSenses)
+	dieTime := attempts*s.senseByType[pageType] + aux*s.auxSenseUS
+	chanTime := attempts*s.xferBurstUS + aux*s.cfg.Lat.Transfer
 
-	die := s.cfg.Geo.Die(ppn.Plane)
-	ch := s.cfg.Geo.Channel(ppn.Plane)
+	die := s.planeDie[ppn.Plane]
+	ch := s.planeChan[ppn.Plane]
 	senseStart := maxf(arrive, s.dieFree[die])
 	senseEnd := senseStart + dieTime
 	s.dieFree[die] = senseEnd
@@ -602,7 +803,7 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 	s.chanFree[ch] = xferEnd
 	if s.met != nil {
 		wait := (senseStart - arrive) + (xferStart - senseEnd)
-		s.met.pageRead(&out, lpn, ppn.Plane, ppn.Block, ppn.Page,
+		s.met.pageRead(out, lpn, ppn.Plane, ppn.Block, ppn.Page,
 			wait, dieTime, chanTime, xferEnd-arrive)
 	}
 	return xferEnd, nil
@@ -611,24 +812,22 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 // writePage services one page write: transfer on the channel, program on
 // the die; GC work (migrations, erases) occupies the die.
 func (s *Sim) writePage(arrive float64, lpn int64) (float64, error) {
-	res, err := s.ftl.Write(lpn)
-	if err != nil {
+	res := &s.wres
+	if err := s.ftl.WriteInto(lpn, res); err != nil {
 		return 0, err
 	}
-	lat := s.cfg.Lat
-	die := s.cfg.Geo.Die(res.Target.Plane)
-	ch := s.cfg.Geo.Channel(res.Target.Plane)
+	die := s.planeDie[res.Target.Plane]
+	ch := s.planeChan[res.Target.Plane]
 
 	xferStart := maxf(arrive, s.chanFree[ch])
-	xferEnd := xferStart + lat.Transfer
+	xferEnd := xferStart + s.cfg.Lat.Transfer
 	s.chanFree[ch] = xferEnd
 
 	dieTime := s.cfg.ProgramUS
 	// GC migrations: an internal read (mid page cost) plus a program per
 	// page, and the erase.
 	if n := len(res.Migrations); n > 0 {
-		migRead := lat.SenseBase + float64(levelsOf(s.cfg.Bits-1))*lat.SensePerLevel
-		dieTime += float64(n) * (migRead + s.cfg.ProgramUS)
+		dieTime += float64(n) * s.migProgUS
 	}
 	dieTime += float64(res.ErasedBlocks) * s.cfg.EraseUS
 

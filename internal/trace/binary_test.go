@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBinaryRoundTrip: encode → decode must reproduce a generated trace
+// record for record, the header must carry the exact count and maximum
+// touched LPN, and the streaming encoder must emit byte-identical
+// output to the materializing one.
+func TestBinaryRoundTrip(t *testing.T) {
+	spec, err := WorkloadByName("hm_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.WorkingSetPages = 8000
+	reqs, err := Generate(spec, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := EncodeBinary(reqs)
+	gen, err := NewGenerator(spec, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := EncodeBinarySource(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, streamed) {
+		t.Fatal("EncodeBinarySource diverged from EncodeBinary on the same trace")
+	}
+
+	src, err := NewBinarySource(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != len(reqs) {
+		t.Fatalf("Len = %d, want %d", src.Len(), len(reqs))
+	}
+	var wantMax int64 = -1
+	for _, r := range reqs {
+		if last := r.LPN + int64(r.Pages) - 1; last > wantMax {
+			wantMax = last
+		}
+	}
+	if src.MaxLPN() != wantMax {
+		t.Fatalf("MaxLPN = %d, want %d", src.MaxLPN(), wantMax)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+	// A drained source stays drained.
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("source yielded past the end")
+	}
+}
+
+// TestBinaryEmptyTrace: a zero-record trace is valid — header only,
+// MaxLPN sentinel -1.
+func TestBinaryEmptyTrace(t *testing.T) {
+	src, err := NewBinarySource(EncodeBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 0 || src.MaxLPN() != -1 {
+		t.Fatalf("empty trace: Len=%d MaxLPN=%d", src.Len(), src.MaxLPN())
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatal("empty trace yielded a record")
+	}
+}
+
+// TestBinaryOpenerResets: every open re-decodes the full trace from the
+// start — the engine's precondition and replay passes both depend on it.
+func TestBinaryOpenerResets(t *testing.T) {
+	reqs := []Request{
+		{ArriveUS: 1, Op: Read, LPN: 10, Pages: 2},
+		{ArriveUS: 2.5, Op: Write, LPN: 640, Pages: 3},
+	}
+	open, err := BinaryOpener(EncodeBinary(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		src, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reqs) || got[0] != reqs[0] || got[1] != reqs[1] {
+			t.Fatalf("pass %d decoded %+v, want %+v", pass, got, reqs)
+		}
+	}
+}
+
+// TestBinaryFileRoundTrip: WriteBinaryFile + ReadBinaryFile preserve
+// the trace.
+func TestBinaryFileRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ArriveUS: 0, Op: Write, LPN: 0, Pages: 1},
+		{ArriveUS: 7, Op: Read, LPN: 99, Pages: 4},
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := WriteBinaryFile(path, Sliced(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != reqs[0] || got[1] != reqs[1] {
+		t.Fatalf("file round trip decoded %+v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, Sliced(reqs)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), EncodeBinary(reqs)) {
+		t.Fatal("WriteBinary diverged from EncodeBinary")
+	}
+}
+
+// TestBinaryValidation: truncated, corrupted and version-skewed inputs
+// are rejected with a diagnostic, never decoded.
+func TestBinaryValidation(t *testing.T) {
+	good := EncodeBinary([]Request{{Op: Read, LPN: 1, Pages: 1}})
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"shortHeader", good[:10], "truncated"},
+		{"badMagic", append([]byte("NOPE"), good[4:]...), "magic"},
+		{"badVersion", func() []byte {
+			d := bytes.Clone(good)
+			binary.LittleEndian.PutUint16(d[4:6], 99)
+			return d
+		}(), "version"},
+		{"negativeCount", func() []byte {
+			d := bytes.Clone(good)
+			binary.LittleEndian.PutUint64(d[8:16], ^uint64(0))
+			return d
+		}(), "count"},
+		{"truncatedBody", good[:len(good)-1], "truncated"},
+	}
+	for _, c := range cases {
+		if _, err := NewBinarySource(c.data); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		if _, err := BinaryOpener(c.data); err == nil {
+			t.Errorf("%s: BinaryOpener accepted", c.name)
+		}
+	}
+}

@@ -134,6 +134,11 @@ func NewGenerator(spec WorkloadSpec, n int, seed uint64) (*Generator, error) {
 // Len returns the total number of requests the generator will yield.
 func (g *Generator) Len() int { return g.n }
 
+// MaxLPN returns the highest logical page the generator can touch
+// (requests are clamped to the working set). The replay engine uses the
+// bound to size dense FTL mapping state before the first request.
+func (g *Generator) MaxLPN() int64 { return g.spec.WorkingSetPages - 1 }
+
 // Next implements Source.
 func (g *Generator) Next() (Request, bool, error) {
 	if g.emitted >= g.n {

@@ -2,11 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
 )
 
 // Source is a pull iterator over a trace: Next returns requests one at a
@@ -183,11 +182,13 @@ func (m *MSRSource) nextRaw() (Request, int64, bool, error) {
 	}
 	for m.sc.Scan() {
 		m.line++
-		text := strings.TrimSpace(m.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		// Parse straight out of the scanner's buffer: the streaming path
+		// allocates nothing per line, which matters at replay scale.
+		text := bytes.TrimSpace(m.sc.Bytes())
+		if len(text) == 0 || text[0] == '#' {
 			continue
 		}
-		req, ts, err := parseMSRLine(text, m.line)
+		req, ts, err := parseMSRBytes(text, m.line)
 		if err != nil {
 			m.err = err
 			return Request{}, 0, false, err
@@ -204,28 +205,46 @@ func (m *MSRSource) nextRaw() (Request, int64, bool, error) {
 // parseMSRLine parses one CSV record, returning the request with its raw
 // timestamp (the caller rebases arrivals against the first one seen).
 func parseMSRLine(text string, line int) (Request, int64, error) {
-	f := strings.Split(text, ",")
-	if len(f) < 6 {
-		return Request{}, 0, fmt.Errorf("trace: line %d: %d fields, want >= 6", line, len(f))
+	return parseMSRBytes([]byte(text), line)
+}
+
+// parseMSRBytes is the allocation-free core of parseMSRLine: fields are
+// located by comma scan and integers parsed in place, so the streaming
+// MSR source costs no heap traffic per record.
+func parseMSRBytes(text []byte, line int) (Request, int64, error) {
+	var f [6][]byte
+	rest := text
+	for i := 0; i < 6; i++ {
+		j := bytes.IndexByte(rest, ',')
+		if j < 0 {
+			if i < 5 {
+				return Request{}, 0, fmt.Errorf("trace: line %d: %d fields, want >= 6",
+					line, bytes.Count(text, []byte{','})+1)
+			}
+			f[i] = rest
+			break
+		}
+		f[i] = rest[:j]
+		rest = rest[j+1:]
 	}
-	ts, err := strconv.ParseInt(f[0], 10, 64)
+	ts, err := parseInt64(f[0])
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("trace: line %d: bad timestamp: %w", line, err)
 	}
 	var op Op
-	switch strings.ToLower(strings.TrimSpace(f[3])) {
-	case "read":
+	switch {
+	case asciiFoldEqual(bytes.TrimSpace(f[3]), "read"):
 		op = Read
-	case "write":
+	case asciiFoldEqual(bytes.TrimSpace(f[3]), "write"):
 		op = Write
 	default:
 		return Request{}, 0, fmt.Errorf("trace: line %d: bad type %q", line, f[3])
 	}
-	off, err := strconv.ParseInt(f[4], 10, 64)
+	off, err := parseInt64(f[4])
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("trace: line %d: bad offset: %w", line, err)
 	}
-	size, err := strconv.ParseInt(f[5], 10, 64)
+	size, err := parseInt64(f[5])
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("trace: line %d: bad size: %w", line, err)
 	}
@@ -234,4 +253,60 @@ func parseMSRLine(text string, line int) (Request, int64, error) {
 		pages = 1
 	}
 	return Request{Op: op, LPN: off / PageBytes, Pages: pages}, ts, nil
+}
+
+// asciiFoldEqual reports whether b equals the lower-case ASCII word
+// under ASCII case folding, without allocating.
+func asciiFoldEqual(b []byte, word string) bool {
+	if len(b) != len(word) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != word[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt64 parses a base-10 signed integer with strconv.ParseInt's
+// base-10 semantics (optional sign, digits only, overflow rejected)
+// without converting the bytes to a string.
+func parseInt64(b []byte) (int64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty number")
+	}
+	neg := false
+	i := 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		i++
+	}
+	if i == len(b) {
+		return 0, fmt.Errorf("bare sign %q", b)
+	}
+	var u uint64
+	const cutoff = uint64(1) << 63 // |math.MinInt64|
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit in %q", b)
+		}
+		d := uint64(c - '0')
+		if u > (cutoff-d)/10 {
+			return 0, fmt.Errorf("value out of range: %q", b)
+		}
+		u = u*10 + d
+	}
+	if neg {
+		return -int64(u), nil
+	}
+	if u >= cutoff {
+		return 0, fmt.Errorf("value out of range: %q", b)
+	}
+	return int64(u), nil
 }
