@@ -45,6 +45,7 @@ func run() error {
 		blocks  = flag.Int("blocks", 32, "blocks per plane")
 		tenants = flag.String("tenants", "", "tenant roster JSON file (default built-in gold/silver/bronze)")
 		noLimit = flag.Bool("no-limits", false, "zero every tenant rate limit (deterministic benches)")
+		policy  = flag.String("policy", "", "override every tenant's retry sampler (sentinel, table, ar2, history, sentinel+history)")
 
 		corrupt    = flag.Float64("fault-corrupt", 0, "per-page corruption probability [0,1]")
 		stallMS    = flag.Int("fault-stall-ms", 0, "injected stall length per hit (0 = off)")
@@ -104,6 +105,17 @@ func run() error {
 		}
 		for i := range cfg.Tenants {
 			cfg.Tenants[i].RatePerSec = 0
+		}
+	}
+	if *policy != "" {
+		if _, ok := cfg.Fleet.Samplers[*policy]; !ok {
+			return fmt.Errorf("-policy %q: no such sampler (have sentinel, table, ar2, history, sentinel+history)", *policy)
+		}
+		if len(cfg.Tenants) == 0 {
+			cfg.Tenants = serve.DefaultTenants()
+		}
+		for i := range cfg.Tenants {
+			cfg.Tenants[i].Policy = *policy
 		}
 	}
 

@@ -49,6 +49,7 @@ func main() {
 		faultPE     = flag.Float64("fault-pe", 0, "FTL page-program fail rate (block-erase fails at 4x this rate)")
 		faultSeed   = flag.Uint64("fault-seed", 0xfa17, "fault-injection seed")
 		useFallback = flag.Bool("fallback", false, "also sample and replay the sentinel+fallback policy")
+		policyList  = flag.String("policies", "", "comma-separated policy set (table, sentinel, fallback, ar2, history, sentinel+history); replaces the default table-vs-sentinel comparison with a generic per-cell table")
 
 		workers   = flag.Int("workers", 0, "replay worker goroutines (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 1, "device shards replayed concurrently (must divide the channel count)")
@@ -96,9 +97,22 @@ func main() {
 	}
 
 	// The policies column set: the static-table baseline and sentinel
-	// always, fallback on request.
+	// by default (fallback on request), or whatever -policies names —
+	// custom sets get a generic per-cell table instead of the
+	// two-column comparison.
 	policies := []string{"table", "sentinel"}
-	if *useFallback {
+	custom := *policyList != ""
+	if custom {
+		policies = policies[:0]
+		for _, p := range strings.Split(*policyList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				policies = append(policies, p)
+			}
+		}
+		if len(policies) == 0 {
+			log.Fatal("-policies: empty policy list")
+		}
+	} else if *useFallback {
 		policies = append(policies, "fallback")
 	}
 
@@ -182,6 +196,32 @@ func main() {
 		}
 		panic("unknown policy " + pol)
 	}
+	if custom {
+		// Generic per-(workload, policy) table: no assumptions about
+		// which policies are present.
+		fmt.Print("chip MSB retries:")
+		for _, pol := range policies {
+			fmt.Printf(" %s %.2f", pol, byPolicy(0, pol).Metrics["msb-retries"])
+		}
+		fmt.Print("\n\n")
+		hdr := []string{"workload", "policy", "reads", "mean µs", "p99 µs", "uncorr", "retired"}
+		var rows [][]string
+		for i, name := range names {
+			for _, pol := range policies {
+				r := report(byPolicy(i, pol))
+				rows = append(rows, []string{
+					name, pol, fmt.Sprint(r.Reads),
+					fmt.Sprintf("%.0f", r.MeanReadUS), fmt.Sprintf("%.0f", r.P99ReadUS),
+					fmt.Sprint(r.UncorrectableReads), fmt.Sprint(r.RetiredBlocks),
+				})
+			}
+		}
+		fmt.Print(experiments.Table(hdr, rows))
+		printPerDevice(*devices, *replicate, policies[0], names, byPolicy)
+		dumpSnapshots(*metricsOut, *slowOut, reg)
+		return
+	}
+
 	first := byPolicy(0, "table")
 	fmt.Printf("chip MSB retries: current flash %.2f, sentinel %.2f",
 		first.Metrics["msb-retries"], byPolicy(0, "sentinel").Metrics["msb-retries"])
@@ -222,30 +262,37 @@ func main() {
 	}
 	fmt.Print(experiments.Table(header, rows))
 
-	// Fleet runs: break the sentinel replay down per device — the rows
-	// come straight from the engine's PerDevice summaries.
-	if *devices > 1 {
-		mode := "striped"
-		if *replicate {
-			mode = "replicated"
-		}
-		fmt.Printf("\nper-device breakdown, sentinel policy (%d devices, %s):\n", *devices, mode)
-		hdr := []string{"workload", "device", "requests", "reads", "mean µs", "p99", "uncorr", "retired"}
-		var drows [][]string
-		for i, name := range names {
-			for d, sum := range perDevice(byPolicy(i, "sentinel")) {
-				drows = append(drows, []string{
-					name, fmt.Sprintf("dev%d", d),
-					fmt.Sprint(sum.Requests), fmt.Sprint(sum.Reads),
-					fmt.Sprintf("%.0f", sum.MeanReadUS), fmt.Sprintf("%.0f", sum.P99ReadUS),
-					fmt.Sprint(sum.UncorrectableReads), fmt.Sprint(sum.RetiredBlocks),
-				})
-			}
-		}
-		fmt.Print(experiments.Table(hdr, drows))
-	}
+	printPerDevice(*devices, *replicate, "sentinel", names, byPolicy)
 
 	dumpSnapshots(*metricsOut, *slowOut, reg)
+}
+
+// printPerDevice breaks a fleet replay down per device for one policy —
+// the rows come straight from the engine's PerDevice summaries. No-op
+// for single-device runs.
+func printPerDevice(devices int, replicate bool, policy string, names []string,
+	byPolicy func(int, string) scenario.CellResult) {
+	if devices <= 1 {
+		return
+	}
+	mode := "striped"
+	if replicate {
+		mode = "replicated"
+	}
+	fmt.Printf("\nper-device breakdown, %s policy (%d devices, %s):\n", policy, devices, mode)
+	hdr := []string{"workload", "device", "requests", "reads", "mean µs", "p99", "uncorr", "retired"}
+	var drows [][]string
+	for i, name := range names {
+		for d, sum := range perDevice(byPolicy(i, policy)) {
+			drows = append(drows, []string{
+				name, fmt.Sprintf("dev%d", d),
+				fmt.Sprint(sum.Requests), fmt.Sprint(sum.Reads),
+				fmt.Sprintf("%.0f", sum.MeanReadUS), fmt.Sprintf("%.0f", sum.P99ReadUS),
+				fmt.Sprint(sum.UncorrectableReads), fmt.Sprint(sum.RetiredBlocks),
+			})
+		}
+	}
+	fmt.Print(experiments.Table(hdr, drows))
 }
 
 // dumpSnapshots writes the metrics and slow-trace snapshots to their

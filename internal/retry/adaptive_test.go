@@ -1,0 +1,226 @@
+package retry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sentinel3d/internal/ecc"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
+)
+
+// TestStepLatencySerialPin pins the serial path byte-for-byte: with
+// overlap off, StepLatency must equal PageRead exactly — the frozen
+// replay goldens ride on this identity — and with overlap on it hides
+// min(decode, sense) of each step.
+func TestStepLatencySerialPin(t *testing.T) {
+	l := DefaultLatency()
+	for n := 1; n <= 8; n++ {
+		if got, want := l.StepLatency(n, false), l.PageRead(n); got != want {
+			t.Fatalf("StepLatency(%d, false) = %v, PageRead = %v", n, got, want)
+		}
+		// Default model: decode (8) is always cheaper than any sense
+		// (25 + 12n), so pipelining hides exactly the decode.
+		if got, want := l.StepLatency(n, true), l.PageRead(n)-l.ECCDecode; got != want {
+			t.Fatalf("StepLatency(%d, true) = %v, want %v", n, got, want)
+		}
+	}
+	// When the sense is the cheaper half, it is what hides.
+	short := DefaultLatency()
+	short.SenseBase, short.SensePerLevel, short.ECCDecode = 2, 1, 50
+	if got, want := short.StepLatency(3, true), short.PageRead(3)-5.0; got != want {
+		t.Fatalf("sense-bound StepLatency = %v, want %v", got, want)
+	}
+}
+
+// TestAR2MatchesTableRetries: AR² walks the same vendor table and every
+// attempt is a fresh sense, so at the same read seed its retry counts
+// and final errors are identical to the serial table — only the latency
+// (each retry hides the decode) and OverlapSavedUS differ.
+func TestAR2MatchesTableRetries(t *testing.T) {
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	ctl, err := NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 28},
+		DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := NewDefaultTable(chip, 2)
+	ar2 := NewAR2(table)
+	sawRetry := false
+	for wl := 0; wl < chip.Config().WordlinesPerBlock(); wl++ {
+		seed := mathx.Mix(0xa2, uint64(wl))
+		rT := ctl.Read(0, wl, 2, table, seed)
+		rA := ctl.Read(0, wl, 2, ar2, seed)
+		if rA.Retries != rT.Retries || rA.OK != rT.OK || rA.FinalErrors != rT.FinalErrors {
+			t.Fatalf("wl %d: ar2 (retries %d ok %v errs %d) diverged from table (%d %v %d)",
+				wl, rA.Retries, rA.OK, rA.FinalErrors, rT.Retries, rT.OK, rT.FinalErrors)
+		}
+		if !reflect.DeepEqual(rA.FinalOffsets, rT.FinalOffsets) {
+			t.Fatalf("wl %d: offset schedules diverged", wl)
+		}
+		wantSaved := float64(rT.Retries) * ctl.Lat.ECCDecode
+		if math.Abs(rA.OverlapSavedUS-wantSaved) > 1e-9 {
+			t.Fatalf("wl %d: OverlapSavedUS = %v, want %v", wl, rA.OverlapSavedUS, wantSaved)
+		}
+		if math.Abs((rT.Latency-rA.Latency)-wantSaved) > 1e-9 {
+			t.Fatalf("wl %d: latency gap %v, want %v", wl, rT.Latency-rA.Latency, wantSaved)
+		}
+		if rT.OverlapSavedUS != 0 {
+			t.Fatalf("wl %d: serial table reported overlap savings %v", wl, rT.OverlapSavedUS)
+		}
+		if rT.Retries > 0 {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Skip("aged chip produced no MSB retries; overlap path unexercised")
+	}
+}
+
+// TestHistoryPolicyWriteBack: a cold read walks the table from factory
+// defaults and writes its final offsets back; the next read of the same
+// block starts there and never does worse.
+func TestHistoryPolicyWriteBack(t *testing.T) {
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	ctl, err := NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 28},
+		DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewHistCache(4, 64<<10, chip.Coding().NumVoltages(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewHistoryPolicy(cache, NewDefaultTable(chip, 2), true)
+	first := ctl.Read(0, 0, 2, pol, 1)
+	if !first.OK {
+		t.Fatal("cold read failed outright")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("write-back left %d entries, want 1", cache.Len())
+	}
+	got, ok := cache.Get(0)
+	if !ok || !reflect.DeepEqual(got, first.FinalOffsets) {
+		t.Fatalf("cached %v, final offsets were %v", got, first.FinalOffsets)
+	}
+	second := ctl.Read(0, 0, 2, pol, 2)
+	if !second.OK {
+		t.Fatal("warm read failed")
+	}
+	if second.Retries > first.Retries {
+		t.Fatalf("warm read needed %d retries, cold needed %d",
+			second.Retries, first.Retries)
+	}
+	st := cache.Stats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("stats = %+v, want at least one hit and one miss", st)
+	}
+
+	// WriteBack off: reads consult but never mutate.
+	frozen, err := NewHistCache(4, 64<<10, chip.Coding().NumVoltages(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := NewHistoryPolicy(frozen, NewDefaultTable(chip, 2), false)
+	if res := ctl.Read(0, 1, 2, ro, 3); !res.OK {
+		t.Fatal("frozen-cache read failed")
+	}
+	if frozen.Len() != 0 {
+		t.Fatalf("frozen cache gained %d entries", frozen.Len())
+	}
+}
+
+// TestSentinelHistoryWarmStart: WarmHistCache seeds the cache from one
+// sentinel inference, and the combined policy consults it first — its
+// MSB reads spend no more senses (attempts + aux) than plain sentinel.
+func TestSentinelHistoryWarmStart(t *testing.T) {
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	ctl, err := NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 28},
+		DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := NewHistCache(4, 64<<10, chip.Coding().NumVoltages(), eng.OffsetBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := WarmHistCache(cache, chip, eng, []int{0}, 0, 0x9157); n != 1 {
+		t.Fatalf("warmed %d blocks, want 1", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after warming, want 1", cache.Len())
+	}
+	sent := NewSentinelPolicy(eng)
+	comb := NewSentinelHistory(cache, sent, false)
+	var sentSenses, combSenses int
+	for wl := 0; wl < chip.Config().WordlinesPerBlock(); wl++ {
+		seed := mathx.Mix(0x51, uint64(wl))
+		rS := ctl.Read(0, wl, 2, sent, seed)
+		rC := ctl.Read(0, wl, 2, comb, seed)
+		if !rS.OK || !rC.OK {
+			t.Fatalf("wl %d: read failed (sentinel %v, combined %v)", wl, rS.OK, rC.OK)
+		}
+		sentSenses += 1 + rS.Retries + rS.AuxSenses
+		combSenses += 1 + rC.Retries + rC.AuxSenses
+	}
+	if combSenses > sentSenses {
+		t.Fatalf("sentinel+history spent %d senses, plain sentinel %d",
+			combSenses, sentSenses)
+	}
+}
+
+// TestAdaptiveMetricsCounters: the new metrics fields — first-attempt
+// hits, cache hits/misses, overlap savings — all move under the
+// adaptive policies.
+func TestAdaptiveMetricsCounters(t *testing.T) {
+	eng := testEngine(t)
+	chip := agedTLCChip(t, eng)
+	ctl, err := NewController(chip, ecc.CapabilityModel{FrameBits: 8192, T: 28},
+		DefaultLatency(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry(1)
+	ctl.Obs = NewMetrics(reg.Set(0), 2)
+	cache, err := NewHistCache(4, 64<<10, chip.Coding().NumVoltages(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := NewHistoryPolicy(cache, NewDefaultTable(chip, 2), true)
+	ar2 := NewAR2(NewDefaultTable(chip, 2))
+	for wl := 0; wl < chip.Config().WordlinesPerBlock(); wl++ {
+		ctl.Read(0, wl, 2, hist, mathx.Mix(6, uint64(wl)))
+		ctl.Read(0, wl, 2, ar2, mathx.Mix(7, uint64(wl)))
+	}
+	m := ctl.Obs
+	if m.CacheMisses.Value() == 0 {
+		t.Error("no cache misses recorded on a cold cache")
+	}
+	// Re-read every block: all warm now.
+	before := m.CacheHits.Value()
+	for wl := 0; wl < chip.Config().WordlinesPerBlock(); wl++ {
+		ctl.Read(0, wl, 2, hist, mathx.Mix(8, uint64(wl)))
+	}
+	if m.CacheHits.Value() <= before {
+		t.Error("warm re-reads recorded no cache hits")
+	}
+	if m.FirstAttempt.Value() == 0 {
+		t.Error("no first-attempt hits recorded")
+	}
+	found := false
+	for _, h := range reg.Snapshot().Hists {
+		if h.Name == "retry.overlap_saved_us" {
+			found = true
+			if h.Hist.Count() == 0 {
+				t.Error("pipelined reads recorded no overlap savings")
+			}
+		}
+	}
+	if !found {
+		t.Error("retry.overlap_saved_us not in snapshot")
+	}
+}

@@ -73,6 +73,27 @@ type Policy interface {
 	Session(env *Env) Session
 }
 
+// PipelinedSession is the optional interface of sessions whose retry
+// stepping is pipelined (AR²-style): the next attempt's sense is
+// launched while the current attempt's ECC decode runs. The controller
+// then charges StepLatency(levels, true) for every attempt after the
+// first. Only latency is pipelined — each attempt is still a fresh
+// sense with its own noise draw, so retry counts match the serial walk
+// of the same offset schedule exactly.
+type PipelinedSession interface {
+	Session
+	Pipelined() bool
+}
+
+// FinishingSession is the optional interface of sessions that observe
+// the final Result of their read — e.g. to write the last-known-good
+// offsets back into a HistCache. Finish runs after the result is fully
+// populated and before it is recorded to metrics.
+type FinishingSession interface {
+	Session
+	Finish(res *Result)
+}
+
 // Result reports one serviced read.
 type Result struct {
 	// OK is false when the read exhausted its retry budget or could not be
@@ -90,6 +111,11 @@ type Result struct {
 	// FinalErrors is the raw bit-error count of the last attempt over the
 	// ECC-protected user cells (simulator-side observability).
 	FinalErrors int
+	// OverlapSavedUS is the latency hidden by pipelined (AR²-style)
+	// retry stepping: for each retry, the part of its sense that ran
+	// during the previous attempt's ECC decode. Zero for serial
+	// policies.
+	OverlapSavedUS float64
 	// UsedFallback reports that the policy abandoned its primary inference
 	// path and degraded to its fallback (see FallbackPolicy) at some point
 	// during this read.
@@ -161,6 +187,10 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 		lat: c.Lat, seed: readSeed, met: c.Obs,
 	}
 	sess := pol.Session(env)
+	pipelined := false
+	if ps, ok := sess.(PipelinedSession); ok {
+		pipelined = ps.Pipelined()
+	}
 	coding := c.Chip.Coding()
 	levels := len(coding.PageVoltages(page))
 	userBits := c.Chip.Config().UserCells()
@@ -184,10 +214,18 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 			}
 			break
 		}
+		// Every attempt is a fresh sense with its own noise draw — for
+		// pipelined sessions too, which overlap the NEXT sense with the
+		// CURRENT decode but still sense anew (only the latency is
+		// pipelined, never the electrons).
 		op := c.Chip.BeginRead(b, wl, mathx.Mix3(readSeed, 0x5ead, uint64(k)))
 		read := op.ReadPageInto(bufs[k&1], page, ofs)
 		op.Close()
-		res.Latency += c.Lat.PageRead(levels)
+		step := c.Lat.StepLatency(levels, pipelined && k > 0)
+		if pipelined && k > 0 {
+			res.OverlapSavedUS += c.Lat.PageRead(levels) - step
+		}
+		res.Latency += step
 		res.FinalOffsets = ofs
 		for i := range errs {
 			errs[i] = read[i] ^ truth[i]
@@ -209,6 +247,9 @@ func (c *Controller) Read(b, wl, page int, pol Policy, readSeed uint64) Result {
 	res.Uncorrectable = !res.OK
 	if fs, ok := sess.(interface{ UsedFallback() bool }); ok {
 		res.UsedFallback = fs.UsedFallback()
+	}
+	if fs, ok := sess.(FinishingSession); ok {
+		fs.Finish(&res)
 	}
 	flash.PutBitmap(errs)
 	flash.PutBitmap(bufs[1])

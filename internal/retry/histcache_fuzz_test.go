@@ -1,0 +1,98 @@
+package retry
+
+import (
+	"math"
+	"testing"
+
+	"sentinel3d/internal/flash"
+)
+
+// FuzzHistCache drives an arbitrary op sequence (decoded from the fuzz
+// input) against a cache with fuzzed geometry and checks the structural
+// invariants the read policies rely on: every vector a Get returns has
+// exactly nv components, each finite and inside the clamp bound;
+// residency never exceeds the derived capacity; a shadow-model check
+// keeps Get results consistent with the last Put of that block; and
+// Snapshot stays sorted per shard with no duplicate blocks.
+func FuzzHistCache(f *testing.F) {
+	f.Add(uint8(4), uint8(7), float64(10), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(1), uint8(1), float64(0), []byte{0xff, 0x00, 0xff})
+	f.Add(uint8(16), uint8(15), float64(0.5), []byte{7, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, shards, nv uint8, bound float64, ops []byte) {
+		sc := int(shards%16) + 1
+		vc := int(nv%16) + 1
+		if math.IsNaN(bound) || math.IsInf(bound, 0) || bound < 0 {
+			bound = 0
+		}
+		// Budget for ~24 entries total, whatever the geometry.
+		cache, err := NewHistCache(sc, 24*histEntryBytes(vc), vc, bound)
+		if err != nil {
+			t.Fatalf("NewHistCache(%d, _, %d, %g): %v", sc, vc, bound, err)
+		}
+		// shadow holds each block's last stored vector — authoritative
+		// while the block stays resident.
+		shadow := map[int]flash.Offsets{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			block := int(ops[i] % 64)
+			raw := float64(int8(ops[i+1])) * 1.5
+			switch ops[i+2] % 3 {
+			case 0:
+				n := int(ops[i+2]%5) + vc - 2
+				if n < 0 {
+					n = 0
+				}
+				in := make(flash.Offsets, n)
+				for v := range in {
+					in[v] = raw + float64(v)
+				}
+				cache.Put(block, in)
+				want := make(flash.Offsets, vc)
+				for v := 0; v < vc && v < len(in); v++ {
+					o := in[v]
+					if bound > 0 {
+						o = math.Max(-bound, math.Min(bound, o))
+					}
+					want[v] = o
+				}
+				shadow[block] = want
+			case 1:
+				ofs, ok := cache.Get(block)
+				if !ok {
+					continue
+				}
+				if len(ofs) != vc {
+					t.Fatalf("Get(%d) returned %d components, want %d", block, len(ofs), vc)
+				}
+				for v, o := range ofs {
+					if math.IsNaN(o) || math.IsInf(o, 0) {
+						t.Fatalf("Get(%d)[%d] = %v not finite", block, v, o)
+					}
+					if bound > 0 && math.Abs(o) > bound {
+						t.Fatalf("Get(%d)[%d] = %v outside bound %g", block, v, o, bound)
+					}
+					if want, ok := shadow[block]; ok && o != want[v] {
+						t.Fatalf("Get(%d)[%d] = %v, last Put stored %v", block, v, o, want[v])
+					}
+				}
+			default:
+				snap := cache.Snapshot()
+				if len(snap) != cache.Len() {
+					t.Fatalf("Snapshot len %d != Len %d", len(snap), cache.Len())
+				}
+				seen := map[int]bool{}
+				for _, e := range snap {
+					if seen[e.Block] {
+						t.Fatalf("Snapshot lists block %d twice", e.Block)
+					}
+					seen[e.Block] = true
+					if len(e.Offsets) != vc {
+						t.Fatalf("Snapshot block %d has %d components", e.Block, len(e.Offsets))
+					}
+				}
+			}
+			if l, c := cache.Len(), cache.Cap(); l > c {
+				t.Fatalf("Len %d over Cap %d", l, c)
+			}
+		}
+	})
+}

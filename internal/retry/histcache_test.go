@@ -1,0 +1,222 @@
+package retry
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sentinel3d/internal/flash"
+	"sentinel3d/internal/mathx"
+)
+
+func TestHistCacheBasic(t *testing.T) {
+	c, err := NewHistCache(4, 64<<10, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", c.Shards())
+	}
+	if _, ok := c.Get(3); ok {
+		t.Fatal("hit on empty cache")
+	}
+	ofs := flash.Offsets{-1, 2, -3, 4, -5, 6, -7}
+	if evicted := c.Put(3, ofs); evicted {
+		t.Fatal("first Put evicted")
+	}
+	got, ok := c.Get(3)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(got, ofs) {
+		t.Fatalf("Get = %v, want %v", got, ofs)
+	}
+	// The returned vector is the caller's: mutating it must not change
+	// the cached copy, and the cached copy must not alias the Put input.
+	got[0] = 99
+	ofs[1] = 99
+	again, _ := c.Get(3)
+	if again[0] == 99 || again[1] == 99 {
+		t.Fatalf("cache aliases caller memory: %v", again)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Stores != 1 || st.Evicts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHistCacheClampAndShape(t *testing.T) {
+	c, err := NewHistCache(1, 4<<10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer input is truncated, components clamped to ±bound.
+	c.Put(1, flash.Offsets{100, -100, 2, 7})
+	got, _ := c.Get(1)
+	want := flash.Offsets{5, -5, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Get = %v, want %v", got, want)
+	}
+	// Shorter input is zero-padded.
+	c.Put(2, flash.Offsets{-1})
+	got, _ = c.Get(2)
+	if !reflect.DeepEqual(got, flash.Offsets{-1, 0, 0}) {
+		t.Fatalf("padded Get = %v", got)
+	}
+	// Negative blocks are ignored; negative Gets miss.
+	c.Put(-4, flash.Offsets{1, 1, 1})
+	if _, ok := c.Get(-4); ok {
+		t.Fatal("negative block was stored")
+	}
+}
+
+func TestHistCacheRejects(t *testing.T) {
+	if _, err := NewHistCache(0, 1<<10, 3, 1); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewHistCache(1, 1<<10, 0, 1); err == nil {
+		t.Error("0 voltages accepted")
+	}
+	if _, err := NewHistCache(1, 10, 3, 1); err == nil {
+		t.Error("budget below one entry accepted")
+	}
+	if _, err := NewHistCache(1, 1<<10, 3, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+// TestHistCacheEvictionBudget is the eviction-under-budget property:
+// however many distinct blocks are stored, residency never exceeds the
+// derived capacity, every lookup of a just-stored block still hits, and
+// the CLOCK sweep keeps recently-referenced entries over cold ones.
+func TestHistCacheEvictionBudget(t *testing.T) {
+	const nv = 7
+	budget := 40 * histEntryBytes(nv) // 40 entries total across 4 shards
+	c, err := NewHistCache(4, budget, nv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cap() != 40 {
+		t.Fatalf("Cap() = %d, want 40", c.Cap())
+	}
+	rng := mathx.NewRand(7)
+	evictions := 0
+	for i := 0; i < 4000; i++ {
+		b := int(rng.Uint64() % 1000)
+		if c.Put(b, flash.Offsets{float64(b), 0, 0, 0, 0, 0, 0}) {
+			evictions++
+		}
+		if got, ok := c.Get(b); !ok || got[0] != float64(b) {
+			t.Fatalf("iteration %d: just-stored block %d missing", i, b)
+		}
+		if c.Len() > c.Cap() {
+			t.Fatalf("iteration %d: Len %d over Cap %d", i, c.Len(), c.Cap())
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("4000 inserts into a 40-entry cache never evicted")
+	}
+	snap := c.Snapshot()
+	if len(snap) != c.Len() {
+		t.Fatalf("snapshot has %d entries, Len says %d", len(snap), c.Len())
+	}
+	st := c.Stats()
+	if int(st.Evicts) != evictions {
+		t.Fatalf("Stats().Evicts = %d, counted %d", st.Evicts, evictions)
+	}
+}
+
+// TestHistCacheSnapshotDeterminism: under capacity, the same set of
+// (block, offsets) writes — in any arrival order, from any number of
+// goroutines — yields byte-identical snapshots.
+func TestHistCacheSnapshotDeterminism(t *testing.T) {
+	const nv, blocks = 3, 64
+	build := func(order []int, workers int) []HistEntry {
+		c, err := NewHistCache(4, 128*histEntryBytes(nv), nv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers <= 1 {
+			for _, b := range order {
+				c.Put(b, flash.Offsets{float64(b), -float64(b), 1})
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(order); i += workers {
+						b := order[i]
+						c.Put(b, flash.Offsets{float64(b), -float64(b), 1})
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		return c.Snapshot()
+	}
+	fwd := make([]int, blocks)
+	rev := make([]int, blocks)
+	for i := range fwd {
+		fwd[i], rev[blocks-1-i] = i, i
+	}
+	ref := build(fwd, 1)
+	if got := build(rev, 1); !reflect.DeepEqual(got, ref) {
+		t.Fatal("snapshot depends on sequential insert order")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := build(fwd, workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("snapshot differs at %d workers", workers)
+		}
+	}
+}
+
+// TestHistCacheConcurrentHammer drives mixed Get/Put/Snapshot/Len
+// traffic from many goroutines; run under -race this is the lock-stripe
+// soundness check. Invariants checked inside: hits return well-formed
+// vectors and residency stays bounded.
+func TestHistCacheConcurrentHammer(t *testing.T) {
+	c, err := NewHistCache(8, 64*histEntryBytes(5), 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := mathx.NewRand(uint64(g) + 1)
+			for i := 0; i < 3000; i++ {
+				b := int(rng.Uint64() % 200)
+				switch i % 4 {
+				case 0, 1:
+					c.Put(b, flash.Offsets{1, -2, 3, -4, 5})
+				case 2:
+					if ofs, ok := c.Get(b); ok {
+						if len(ofs) != 5 {
+							panic("short vector from Get")
+						}
+						for _, o := range ofs {
+							if math.Abs(o) > 8 {
+								panic("offset over bound")
+							}
+						}
+					}
+				default:
+					if i%64 == 0 {
+						c.Snapshot()
+					} else if c.Len() > c.Cap() {
+						panic("Len over Cap")
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len %d over Cap %d after hammer", c.Len(), c.Cap())
+	}
+}

@@ -63,6 +63,25 @@ func (l LatencyModel) PageRead(nLevels int) float64 {
 	return l.SenseBase + float64(nLevels)*l.SensePerLevel + l.Transfer + l.ECCDecode
 }
 
+// StepLatency returns the latency attributed to one read attempt under
+// either step model. overlap=false is the classic serial model and
+// equals PageRead exactly — every attempt pays sense, transfer and
+// decode back to back. overlap=true is the AR²/PR²-style pipelined
+// model: the attempt's sensing was launched while the previous
+// attempt's ECC decode was still running, so min(decode, sense) of the
+// step is hidden behind the predecessor.
+func (l LatencyModel) StepLatency(nLevels int, overlap bool) float64 {
+	serial := l.PageRead(nLevels)
+	if !overlap {
+		return serial
+	}
+	hidden := l.ECCDecode
+	if sense := l.SenseBase + float64(nLevels)*l.SensePerLevel; sense < hidden {
+		hidden = sense
+	}
+	return serial - hidden
+}
+
 // AuxSense returns the latency of a one-voltage auxiliary read (the
 // sentinel-voltage LSB read used for inference and calibration); the data
 // is transferred but not ECC-decoded.

@@ -17,7 +17,18 @@ type Metrics struct {
 	LSBReuses     *obs.Counter
 	Fallbacks     *obs.Counter
 	Uncorrectable *obs.Counter
-	Latency       *obs.Hist
+	// FirstAttempt counts reads that decoded on the very first attempt
+	// — the headline number of the adaptive (history-cache) policies.
+	FirstAttempt *obs.Counter
+	// CacheHits/CacheMisses/CacheEvicts instrument the offset-history
+	// cache consulted by HistoryPolicy and SentinelHistoryPolicy.
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+	CacheEvicts *obs.Counter
+	Latency     *obs.Hist
+	// OverlapSaved is the per-read latency hidden by pipelined
+	// (AR²-style) retry stepping, µs; only overlapping reads observe.
+	OverlapSaved *obs.Hist
 
 	// tableStep is the sentinel-voltage-equivalent step of the vendor
 	// table the shaved-retries estimate compares against; 0 disables
@@ -40,7 +51,12 @@ func NewMetrics(set *obs.Set, tableStep float64) *Metrics {
 		LSBReuses:     set.Counter("retry.lsb_reuses", "sentinel senses served free from an LSB readout"),
 		Fallbacks:     set.Counter("retry.fallbacks", "reads that degraded to the fallback path"),
 		Uncorrectable: set.Counter("retry.uncorrectable", "reads that exhausted the retry budget"),
+		FirstAttempt:  set.Counter("retry.first_attempt_hits", "reads decoded on the first attempt"),
+		CacheHits:     set.Counter("retry.cache_hits", "offset-history cache hits"),
+		CacheMisses:   set.Counter("retry.cache_misses", "offset-history cache misses"),
+		CacheEvicts:   set.Counter("retry.cache_evicts", "offset-history cache evictions"),
 		Latency:       set.Hist("retry.latency_us", "chip-level read service time, µs"),
+		OverlapSaved:  set.Hist("retry.overlap_saved_us", "latency hidden by pipelined retry stepping, µs"),
 		tableStep:     tableStep,
 	}
 }
@@ -60,6 +76,12 @@ func (m *Metrics) record(res *Result, sentinelV int) {
 	}
 	if res.Uncorrectable {
 		m.Uncorrectable.Inc()
+	}
+	if res.OK && res.Retries == 0 {
+		m.FirstAttempt.Inc()
+	}
+	if res.OverlapSavedUS > 0 {
+		m.OverlapSaved.Observe(res.OverlapSavedUS)
 	}
 	m.Latency.Observe(res.Latency)
 	// Shaved-vs-table estimate: the table's shape profile is normalized
@@ -82,4 +104,27 @@ func (m *Metrics) lsbReuse() {
 		return
 	}
 	m.LSBReuses.Inc()
+}
+
+// cacheHit / cacheMiss / cacheEvict account one offset-history cache
+// consultation or write-back eviction; nil-safe like every recorder.
+func (m *Metrics) cacheHit() {
+	if m == nil {
+		return
+	}
+	m.CacheHits.Inc()
+}
+
+func (m *Metrics) cacheMiss() {
+	if m == nil {
+		return
+	}
+	m.CacheMisses.Inc()
+}
+
+func (m *Metrics) cacheEvict() {
+	if m == nil {
+		return
+	}
+	m.CacheEvicts.Inc()
 }

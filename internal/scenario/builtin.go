@@ -110,6 +110,10 @@ func init() {
 	figure("ablation-combined", "combined ablation", func(s experiments.Scale) (renderer, error) {
 		return experiments.AblateCombined(s)
 	})
+	Register(Entry{Name: "adaptive", Desc: "adaptive first-shot reads: table/sentinel vs ar2/history caches", InAll: true,
+		Run: func(ctx *Ctx) (*Outcome, error) {
+			return outcomeOf(experiments.Adaptive(ctx.Scale, ctx.Requests(6000)))
+		}})
 	Register(Entry{Name: "replay", Desc: "sharded streaming trace replay under one retry policy",
 		Run: runReplay})
 	Register(Entry{Name: "replay-throughput", Desc: "replay engine scaling table (wall-clock; never golden-gated)",
@@ -259,6 +263,20 @@ func samplerFor(ctx *Ctx) (*ssdsim.EmpiricalSampler, error) {
 			fb := retry.NewFallback(prep.eng.eng, prep.table)
 			fb.ProbeBlock(prep.chip, 0, 0)
 			pol, seed = fb, 13
+		case "history":
+			cache, err := warmedHistCache(prep)
+			if err != nil {
+				return nil, err
+			}
+			pol, seed = retry.NewHistoryPolicy(cache, prep.table, false), 14
+		case "ar2":
+			pol, seed = retry.NewAR2(prep.table), 15
+		case "sentinel+history":
+			cache, err := warmedHistCache(prep)
+			if err != nil {
+				return nil, err
+			}
+			pol, seed = retry.NewSentinelHistory(cache, prep.eng.eng, false), 16
 		default:
 			return nil, fmt.Errorf("scenario: unknown policy %q", policy)
 		}
@@ -268,6 +286,23 @@ func samplerFor(ctx *Ctx) (*ssdsim.EmpiricalSampler, error) {
 		return nil, err
 	}
 	return v.(*ssdsim.EmpiricalSampler), nil
+}
+
+// warmedHistCache builds the offset-history cache the history-backed
+// sampling policies consult: deterministically warmed from sentinel
+// inference on the prep chip's sampled block and then frozen (the
+// policies are built with WriteBack off), so the sampler pools — and
+// every replay report built on them — stay byte-identical at any
+// worker count.
+func warmedHistCache(prep *chipPrep) (*retry.HistCache, error) {
+	eng := prep.eng.eng.Engine
+	cache, err := retry.NewHistCache(4, 64<<10, prep.chip.Coding().NumVoltages(),
+		eng.OffsetBound())
+	if err != nil {
+		return nil, err
+	}
+	retry.WarmHistCache(cache, prep.chip, eng, []int{0}, prep.wls[0], 0x9157)
+	return cache, nil
 }
 
 // ReplayResult is a replay cell's deterministic payload: the engine's

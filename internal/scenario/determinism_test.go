@@ -35,6 +35,33 @@ func TestMatrixWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestHistoryPolicyWorkerDeterminism pins the frozen-cache contract:
+// replay cells under the offset-history policies (cache warmed once,
+// then read-only) digest byte-identically at 1, 4 and 8 workers, and
+// the warmed cache's deterministic snapshot is reproducible.
+func TestHistoryPolicyWorkerDeterminism(t *testing.T) {
+	for _, policy := range []string{"history", "sentinel+history"} {
+		spec := Spec{Name: "c", Experiment: "replay", Policy: policy,
+			Workload: "hm_0", Requests: 2000, Shards: 2, Seed: 31}
+		run := func(workers int) string {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			res, err := RunCell(spec, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s at %d workers: %v", policy, workers, err)
+			}
+			return res.Digest
+		}
+		ref := run(1)
+		for _, workers := range []int{4, 8} {
+			if got := run(workers); got != ref {
+				t.Errorf("%s digest at %d workers = %s, want %s (1 worker)",
+					policy, workers, got, ref)
+			}
+		}
+	}
+}
+
 // TestCellObsDeterminism asserts instrumentation does not perturb
 // results: a cell run with per-cell metrics enabled digests identically
 // to the same cell uninstrumented.

@@ -47,8 +47,14 @@ type Spec struct {
 	Kind string `json:"kind,omitempty"`
 	// Policy selects the retry policy of replay cells: "table",
 	// "sentinel" (default), "fallback" (sentinel wrapped in the static-
-	// table guard) or "synthetic" (a fixed outcome distribution; no chip
-	// is built, so the cell is fast enough for smoke tiers).
+	// table guard), "history" (first shot from the offset-history cache,
+	// table walk beyond it), "ar2" (pipelined table walk),
+	// "sentinel+history" (cache-seeded first shot, sentinel recovery) or
+	// "synthetic" (a fixed outcome distribution; no chip is built, so
+	// the cell is fast enough for smoke tiers). The history-cache
+	// policies sample against a cache deterministically warmed from
+	// sentinel inference and then frozen, so their cells golden-gate
+	// like every other.
 	Policy string `json:"policy,omitempty"`
 	// Workload names a built-in MSR-like workload (trace.WorkloadByName)
 	// for replay cells; TraceFile overrides it with an MSR-format CSV.
@@ -244,7 +250,8 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario: cell %q: unknown kind %q", s.Name, s.Kind)
 	}
 	switch s.Policy {
-	case "", "table", "sentinel", "fallback", "synthetic":
+	case "", "table", "sentinel", "fallback", "synthetic",
+		"history", "ar2", "sentinel+history":
 	default:
 		return fmt.Errorf("scenario: cell %q: unknown policy %q", s.Name, s.Policy)
 	}

@@ -22,8 +22,9 @@ type TenantConfig struct {
 	// SLOMs is the tenant's wall-clock latency objective; flashbench
 	// counts responses slower than this as SLO violations.
 	SLOMs float64 `json:"slo_ms"`
-	// Policy names the retry sampler ("sentinel", "table"); default
-	// "sentinel". Ladder level 2 overrides it to "table".
+	// Policy names the retry sampler ("sentinel", "table", "ar2",
+	// "history", "sentinel+history"); default "sentinel". Ladder
+	// level 2 overrides it to "table".
 	Policy string `json:"policy,omitempty"`
 	// DeadlineMs is the default request deadline when the request body
 	// carries none. Default 1000.

@@ -837,6 +837,27 @@ func (s *Sim) writePage(arrive float64, lpn int64) (float64, error) {
 	return progEnd, nil
 }
 
+// Makespan returns the simulated completion time of all flash work
+// issued so far: the maximum die/channel busy-until time. For a
+// saturating burst, requests/Makespan is the device's simulated
+// throughput — the policy-sensitive counterpart of wall-clock req/s,
+// which only measures the host-side replay loop and is identical for
+// any two samplers of the same pool sizes.
+func (s *Sim) Makespan() float64 {
+	var m float64
+	for _, t := range s.dieFree {
+		if t > m {
+			m = t
+		}
+	}
+	for _, t := range s.chanFree {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a
