@@ -43,6 +43,8 @@ func main() {
 		traceFile = flag.String("trace", "", "MSR-format CSV trace file (overrides -workload)")
 		requests  = flag.Int("requests", 10000, "requests to generate per workload")
 		pe        = flag.Int("pe", 5000, "chip wear before the run")
+		age       = flag.String("age", "", "dynamic aging: starting lifetime point (fresh, mid, worn); stress then evolves during the replay instead of staying frozen at -pe")
+		schedule  = flag.String("schedule", "", "dynamic aging: ambient temperature schedule (room, hot, diurnal); implies lifetime mode like -age")
 		full      = flag.Bool("full", false, "use full physical wordline width for retry sampling (slow)")
 
 		faultStuck  = flag.Float64("fault-stuck", 0, "fraction of OOB-region cells stuck high on the sampling chip")
@@ -161,6 +163,8 @@ func main() {
 				Seed:       seed,
 				Collect:    !*stream,
 				Fault:      fault,
+				Age:        *age,
+				Schedule:   *schedule,
 			}
 			if *traceFile != "" {
 				spec.TraceFile = *traceFile
@@ -316,6 +320,8 @@ func dumpSnapshots(metricsOut, slowOut string, reg *obs.Registry) {
 func report(c scenario.CellResult) *ssdsim.ReportSummary {
 	switch r := c.Payload.(type) {
 	case *scenario.ReplayResult:
+		return &r.Report
+	case *scenario.LifetimeReplayResult:
 		return &r.Report
 	case *scenario.FleetReplayResult:
 		return &r.Report

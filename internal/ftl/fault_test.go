@@ -111,6 +111,75 @@ func TestEraseFaultRetiresVictim(t *testing.T) {
 	}
 }
 
+// recordingWear tallies BlockErased callbacks per block.
+type recordingWear struct {
+	wear   map[[2]int]int // (plane, block) -> erase attempts observed
+	failed int
+	ok     int
+}
+
+func (r *recordingWear) BlockErased(plane, block int, failed bool) {
+	if r.wear == nil {
+		r.wear = map[[2]int]int{}
+	}
+	r.wear[[2]int{plane, block}]++
+	if failed {
+		r.failed++
+	} else {
+		r.ok++
+	}
+}
+
+// TestWearSinkSeesFailedErases is the satellite regression: a failed
+// erase advances the block's wear counter, and that wear must be
+// visible to stress consumers through the WearSink hook — not only the
+// successful erases that f.Erases counts.
+func TestWearSinkSeesFailedErases(t *testing.T) {
+	geo := smallGeo()
+	f, err := New(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingWear{}
+	f.Wear = sink
+	f.Faults = &scriptedFaults{eraseFail: map[[3]int]bool{
+		{0, 1, 0}: true,
+		{0, 2, 0}: true,
+	}}
+	span := int64(geo.PagesTotal() / 4)
+	rng := mathx.NewRand(7)
+	for i := 0; i < geo.PagesTotal()*2; i++ {
+		if _, err := f.Write(int64(rng.Intn(int(span)))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if sink.failed == 0 {
+		t.Fatal("no failed erase reached the wear sink despite scripted erase faults")
+	}
+	if int64(sink.ok) != f.Erases {
+		t.Fatalf("sink saw %d successful erases, FTL counted %d", sink.ok, f.Erases)
+	}
+	// The sink's per-block totals must match the FTL's own wear
+	// accounting exactly — including on retired blocks whose only erase
+	// attempt failed.
+	for pb, n := range sink.wear {
+		if got := f.BlockErases(pb[0], pb[1]); got != n {
+			t.Fatalf("block (%d,%d): sink wear %d, FTL erases %d", pb[0], pb[1], n, got)
+		}
+	}
+	for _, pb := range [][2]int{{0, 1}, {0, 2}} {
+		if !f.BlockRetired(pb[0], pb[1]) {
+			continue // GC may not have picked it before the workload ended
+		}
+		if sink.wear[pb] == 0 {
+			t.Fatalf("retired block (%d,%d) wear invisible to sink", pb[0], pb[1])
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestFaultInjectorWorkload drives the hash-keyed injector end to end:
 // a sustained overwrite workload over a faulty medium must retire blocks,
 // keep every live LPN resolvable, and hold the FTL invariants.

@@ -118,6 +118,17 @@ type planeState struct {
 	freeQueue []int // erased blocks ready for allocation
 }
 
+// WearSink observes per-block erase wear as it happens. A failed erase
+// still stresses the oxide — bm.erases advances before the block is
+// retired — so the sink is told about both outcomes; lifetime-aware
+// consumers (ssdsim's per-block stress state) count failed erases as
+// wear even though no data was erased.
+type WearSink interface {
+	// BlockErased is called once per erase attempt on (plane, block).
+	// failed reports that the erase failed and the block was retired.
+	BlockErased(plane, block int, failed bool)
+}
+
 // FTL is a page-mapped translation layer. It is not safe for concurrent
 // use; the simulator drives it from one goroutine.
 type FTL struct {
@@ -150,6 +161,12 @@ type FTL struct {
 	// Obs, when non-nil, receives counter deltas on FlushObs; the write
 	// path itself is untouched, so instrumentation is free per write.
 	Obs *Metrics
+
+	// Wear, when non-nil, observes every erase attempt (including failed
+	// ones, which wear the oxide without freeing the block). Erases are
+	// rare relative to page writes, so the hook costs nothing on the
+	// write hot path.
+	Wear WearSink
 }
 
 // New builds an FTL over the geometry.
@@ -448,6 +465,9 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 		bm.retired = true
 		f.BadBlocks++
 		res.RetiredBlocks++
+		if f.Wear != nil {
+			f.Wear.BlockErased(plane, victim, true)
+		}
 		return true, nil
 	}
 	bm.writePtr = 0
@@ -456,6 +476,9 @@ func (f *FTL) collect(plane int, res *WriteResult) (progressed bool, err error) 
 	clear(bm.valid) // zero = invalid; compiles to a memclr
 	f.Erases++
 	res.ErasedBlocks++
+	if f.Wear != nil {
+		f.Wear.BlockErased(plane, victim, false)
+	}
 	ps.freeQueue = append(ps.freeQueue, victim)
 	return true, nil
 }

@@ -1,6 +1,9 @@
 package physics
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RoomTempC is the reference temperature for retention accounting.
 const RoomTempC = 25.0
@@ -25,15 +28,25 @@ type Stress struct {
 	// disturb accounting).
 	ReadCount int
 
-	// ReadTempC is the ambient temperature during reads; zero means room
-	// temperature. Reading hot shifts higher states down relative to
-	// where they were programmed (cross-temperature effect).
+	// ReadTempC is the ambient temperature during reads. It is only
+	// meaningful when ReadTempSet is true; use AtReadTemp to set both
+	// (and EffectiveReadTemp to read back). Reading hot shifts higher
+	// states down relative to where they were programmed
+	// (cross-temperature effect).
 	ReadTempC float64
+
+	// ReadTempSet marks ReadTempC as explicitly set. The zero value
+	// (unset) means "read at room temperature". A separate flag — rather
+	// than overloading ReadTempC == 0 — keeps a genuine 0°C cold read
+	// distinct from the room-temperature default.
+	ReadTempSet bool
 }
 
-// EffectiveReadTemp returns the read temperature, defaulting to room.
+// EffectiveReadTemp returns the read temperature, defaulting to room
+// when no temperature has been set. An explicitly set 0°C is honoured:
+// "unset" is tracked by ReadTempSet, not by the value itself.
 func (s Stress) EffectiveReadTemp() float64 {
-	if s.ReadTempC == 0 {
+	if !s.ReadTempSet {
 		return RoomTempC
 	}
 	return s.ReadTempC
@@ -42,6 +55,7 @@ func (s Stress) EffectiveReadTemp() float64 {
 // AtReadTemp returns a copy of s with the read temperature set.
 func (s Stress) AtReadTemp(tempC float64) Stress {
 	s.ReadTempC = tempC
+	s.ReadTempSet = true
 	return s
 }
 
@@ -56,20 +70,24 @@ func AccelerationFactor(activationEnergyEV, tempC float64) float64 {
 
 // Aged returns a copy of s with hours of retention at tempC added,
 // converted to effective room-temperature hours using the activation
-// energy from p.
+// energy from p. Negative hours panic: silently clamping them (as this
+// once did) let sign bugs in aging schedules hide as no-ops.
 func (s Stress) Aged(p Params, hours, tempC float64) Stress {
-	if hours < 0 {
-		hours = 0
+	if hours < 0 || math.IsNaN(hours) {
+		panic(fmt.Sprintf("physics: Aged with negative retention interval %g h", hours))
 	}
 	s.EffRetentionHours += hours * AccelerationFactor(p.ActivationEnergyEV, tempC)
 	return s
 }
 
-// Cycled returns a copy of s with n additional P/E cycles.
+// Cycled returns a copy of s with n additional P/E cycles. Negative n
+// panics — wear never decreases, so a negative count is always a caller
+// bug (see Aged).
 func (s Stress) Cycled(n int) Stress {
-	if n > 0 {
-		s.PECycles += n
+	if n < 0 {
+		panic(fmt.Sprintf("physics: Cycled with negative cycle count %d", n))
 	}
+	s.PECycles += n
 	return s
 }
 

@@ -42,19 +42,76 @@ func TestAgedAccumulatesEffectiveHours(t *testing.T) {
 	if hot.EffRetentionHours <= 10 {
 		t.Fatalf("1h at 80C gave only %v effective hours", hot.EffRetentionHours)
 	}
-	// Negative hours are ignored.
-	if got := (Stress{}).Aged(p, -5, 80); got.EffRetentionHours != 0 {
-		t.Fatalf("negative aging changed stress: %+v", got)
-	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestAgedNegativePanics(t *testing.T) {
+	p := QLC()
+	mustPanic(t, "Aged(-5h)", func() { (Stress{}).Aged(p, -5, 80) })
+	mustPanic(t, "Aged(NaN)", func() { (Stress{}).Aged(p, math.NaN(), 80) })
 }
 
 func TestCycledAndRead(t *testing.T) {
-	s := Stress{}.Cycled(100).Cycled(-5).Read(7).Read(0)
+	s := Stress{}.Cycled(100).Read(7).Read(0)
 	if s.PECycles != 100 {
 		t.Fatalf("PECycles = %d", s.PECycles)
 	}
 	if s.ReadCount != 7 {
 		t.Fatalf("ReadCount = %d", s.ReadCount)
+	}
+	mustPanic(t, "Cycled(-5)", func() { s.Cycled(-5) })
+}
+
+func TestEffectiveReadTempUnsetVsZero(t *testing.T) {
+	// The zero value means "read temperature never set" and defaults to
+	// room; an explicitly set 0°C must be honoured as a genuinely cold
+	// read, not silently treated as 25°C.
+	if got := (Stress{}).EffectiveReadTemp(); got != RoomTempC {
+		t.Fatalf("unset read temp = %v, want room (%v)", got, RoomTempC)
+	}
+	cold := Stress{}.AtReadTemp(0)
+	if got := cold.EffectiveReadTemp(); got != 0 {
+		t.Fatalf("explicit 0°C read temp = %v, want 0", got)
+	}
+	if got := (Stress{}).AtReadTemp(RoomTempC).EffectiveReadTemp(); got != RoomTempC {
+		t.Fatalf("explicit room read temp = %v", got)
+	}
+}
+
+func TestZeroCelsiusReadShiftsDifferFromRoom(t *testing.T) {
+	// Regression for the old ReadTempC==0 ⇒ "room" conflation: a 0°C
+	// cross-temperature read must shift the programmed states relative to
+	// a room-temperature read (and in the opposite direction of a hot
+	// read), while an explicit 25°C read must match the unset default.
+	m, err := NewModel(TLC(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Stress{PECycles: 1000, EffRetentionHours: 100}
+	room := m.Env(3, 17, base)
+	explicitRoom := m.Env(3, 17, base.AtReadTemp(RoomTempC))
+	cold := m.Env(3, 17, base.AtReadTemp(0))
+	hot := m.Env(3, 17, base.AtReadTemp(70))
+	top := m.P.States() - 1
+	if room.Mean[top] != explicitRoom.Mean[top] {
+		t.Fatalf("explicit 25°C differs from unset default: %v vs %v",
+			explicitRoom.Mean[top], room.Mean[top])
+	}
+	if cold.Mean[top] == room.Mean[top] {
+		t.Fatalf("0°C read indistinguishable from room read (mean %v)", cold.Mean[top])
+	}
+	if !(cold.Mean[top] > room.Mean[top] && hot.Mean[top] < room.Mean[top]) {
+		t.Fatalf("cross-temp direction wrong: cold %v, room %v, hot %v",
+			cold.Mean[top], room.Mean[top], hot.Mean[top])
 	}
 }
 

@@ -114,6 +114,10 @@ func init() {
 		Run: func(ctx *Ctx) (*Outcome, error) {
 			return outcomeOf(experiments.Adaptive(ctx.Scale, ctx.Requests(6000)))
 		}})
+	Register(Entry{Name: "lifetime", Desc: "device-lifetime sweep: dynamic aging replay, sentinel vs table per age and temperature schedule", InAll: true,
+		Run: func(ctx *Ctx) (*Outcome, error) {
+			return outcomeOf(experiments.Lifetime(ctx.Scale, ctx.Requests(6000)))
+		}})
 	Register(Entry{Name: "replay", Desc: "sharded streaming trace replay under one retry policy",
 		Run: runReplay})
 	Register(Entry{Name: "replay-throughput", Desc: "replay engine scaling table (wall-clock; never golden-gated)",
@@ -187,12 +191,19 @@ func replayStress(spec Spec) (int, float64) {
 // the spec says so. Sampling seeds stay fixed per policy so every cell
 // sharing the prep sees identical distributions.
 func buildChipPrep(ctx *Ctx) (*chipPrep, error) {
+	pe, hours := replayStress(ctx.Spec)
+	return buildChipPrepAt(ctx, pe, hours)
+}
+
+// buildChipPrepAt is buildChipPrep at an explicit stress point — the
+// lifetime path measures several retention points per cell (including
+// P/E 0, which replayStress would remap to the frozen default).
+func buildChipPrepAt(ctx *Ctx, pe int, hours float64) (*chipPrep, error) {
 	// Preconditioning is shared across cells, so it must not write to any
 	// single cell's registry.
 	scale := ctx.Scale
 	scale.Obs = nil
 	kind := ctx.Kind()
-	pe, hours := replayStress(ctx.Spec)
 	key := prepKey(scale.Name, kind, pe, hours, ctx.Spec.Fault)
 	v, err := ctx.Shared.Do(key, func() (any, error) {
 		model, err := scale.TrainModel(kind, 1)
@@ -238,6 +249,12 @@ func buildChipPrep(ctx *Ctx) (*chipPrep, error) {
 // samplerFor resolves the cell's retry-outcome sampler, sharing both
 // the chip preconditioning and the per-policy sampling across cells.
 func samplerFor(ctx *Ctx) (*ssdsim.EmpiricalSampler, error) {
+	pe, hours := replayStress(ctx.Spec)
+	return samplerAt(ctx, pe, hours)
+}
+
+// samplerAt is samplerFor at an explicit stress point.
+func samplerAt(ctx *Ctx, pe int, hours float64) (*ssdsim.EmpiricalSampler, error) {
 	policy := ctx.Spec.Policy
 	if policy == "" {
 		policy = "sentinel"
@@ -245,11 +262,10 @@ func samplerFor(ctx *Ctx) (*ssdsim.EmpiricalSampler, error) {
 	if policy == "synthetic" {
 		return experiments.SyntheticSampler(), nil
 	}
-	prep, err := buildChipPrep(ctx)
+	prep, err := buildChipPrepAt(ctx, pe, hours)
 	if err != nil {
 		return nil, err
 	}
-	pe, hours := replayStress(ctx.Spec)
 	key := prepKey(ctx.Scale.Name, ctx.Kind(), pe, hours, ctx.Spec.Fault) + "/sampler/" + policy
 	v, err := ctx.Shared.Do(key, func() (any, error) {
 		var pol retry.Policy
@@ -329,6 +345,72 @@ func (r *ReplayResult) Render() string {
 		}})
 }
 
+// LifetimeReplayResult is the payload of a dynamic-aging replay cell:
+// the replay summary plus the lifetime axes and what the aging
+// machinery did. It is a separate type from ReplayResult so frozen-
+// stress cells keep their pinned digest surface.
+type LifetimeReplayResult struct {
+	Workload string
+	Policy   string
+	Age      string
+	Schedule string
+	Shards   int
+	Report   ssdsim.ReportSummary
+	Life     ssdsim.LifetimeStats
+}
+
+// Render prints the replay summary row plus the lifetime line.
+func (r *LifetimeReplayResult) Render() string {
+	rep := &r.Report
+	return experiments.Table(
+		[]string{"workload", "policy", "age", "schedule", "shards", "reads", "mean µs", "p99", "uncorr"},
+		[][]string{{
+			r.Workload, r.Policy, r.Age, r.Schedule, fmt.Sprint(r.Shards),
+			fmt.Sprint(rep.Reads), fmt.Sprintf("%.1f", rep.MeanReadUS),
+			fmt.Sprintf("%.1f", rep.P99ReadUS), fmt.Sprint(rep.UncorrectableReads),
+		}}) + fmt.Sprintf(
+		"lifetime: %.0f device-hours, %d calibrations (%.0f µs busy), %d erases (%d failed-wear), %d worn blocks (max %d)\n",
+		r.Life.DeviceHours, r.Life.Calibrations, r.Life.CalibBusyUS,
+		r.Life.RunErases, r.Life.FailedEraseWear, r.Life.WornBlocks, r.Life.MaxBlockWear)
+}
+
+// lifetimeAxes resolves a lifetime cell's presets; either axis unset
+// defaults to the frozen-replay-equivalent point ("worn") at room
+// temperature. Validate checked membership, so lookups cannot miss.
+func lifetimeAxes(spec Spec) (experiments.AgePreset, string, physics.TempSchedule) {
+	ageName := spec.Age
+	if ageName == "" {
+		ageName = "worn"
+	}
+	schedName := spec.Schedule
+	if schedName == "" {
+		schedName = "room"
+	}
+	age, _ := experiments.AgeByName(ageName)
+	sched, _ := experiments.ScheduleByName(schedName)
+	return age, schedName, sched
+}
+
+// lifetimeSamplerFor builds the cell's grid sampler: one pool per
+// retention point of the age's grid, measured on aged chips through the
+// shared prep cache ("synthetic" cells use the deterministic synthetic
+// grid instead, like their frozen counterparts).
+func lifetimeSamplerFor(ctx *Ctx, age experiments.AgePreset, bits int) (*ssdsim.LifetimeSampler, error) {
+	grid := experiments.LifetimeGridHours(age.Hours)
+	if ctx.Spec.Policy == "synthetic" {
+		return ssdsim.SyntheticLifetimeSampler(bits, []int{age.PE}, grid, 0x11fe), nil
+	}
+	ls := &ssdsim.LifetimeSampler{PEs: []int{age.PE}, Hours: grid}
+	for _, h := range grid {
+		pool, err := samplerAt(ctx, age.PE, h)
+		if err != nil {
+			return nil, err
+		}
+		ls.Pools = append(ls.Pools, pool)
+	}
+	return ls, nil
+}
+
 // FleetReplayResult is the payload of a multi-device replay cell: the
 // merged fleet report plus one summary per device. It is a separate
 // type from ReplayResult so single-device cells keep their frozen
@@ -377,15 +459,41 @@ func fleetRow(label string, rep *ssdsim.ReportSummary) []string {
 // cells golden-gate like figures; wall-clock req/s goes to metrics.
 func runReplay(ctx *Ctx) (*Outcome, error) {
 	spec := ctx.Spec
-	sampler, err := samplerFor(ctx)
-	if err != nil {
-		return nil, err
-	}
 	simCfg := ssdsim.DefaultConfig()
 	simCfg.Geo = spec.Device.Geometry(defaultReplayGeometry())
 	simCfg.Seed = ctx.Seed
 	if spec.Policy != "" && spec.Policy != "synthetic" {
 		simCfg.Bits = ctx.Kind().Bits()
+	}
+	lifetimeOn := spec.Age != "" || spec.Schedule != ""
+	var sampler ssdsim.RetrySampler
+	var esampler *ssdsim.EmpiricalSampler
+	var ageName, schedName string
+	if lifetimeOn {
+		age, sn, sched := lifetimeAxes(spec)
+		ageName, schedName = age.Name, sn
+		ls, err := lifetimeSamplerFor(ctx, age, simCfg.Bits)
+		if err != nil {
+			return nil, err
+		}
+		sampler = ls
+		simCfg.Life = &ssdsim.LifetimeConfig{
+			BasePE:             age.PE,
+			BaseRetentionHours: age.Hours,
+			Schedule:           sched,
+			// One trace-second is 3600 device-hours (~5 months/minute), so
+			// even a smoke-sized trace visibly climbs the retention grid;
+			// calibration runs monthly.
+			HoursPerSecond:   3600,
+			CalibPeriodHours: 730,
+			CalibUS:          300,
+		}
+	} else {
+		es, err := samplerFor(ctx)
+		if err != nil {
+			return nil, err
+		}
+		esampler, sampler = es, es
 	}
 	if pef, err := spec.Fault.ftlFaults(); err != nil {
 		return nil, err
@@ -444,21 +552,33 @@ func runReplay(ctx *Ctx) (*Outcome, error) {
 		policy = "sentinel"
 	}
 	var res renderer
-	if devices > 1 {
+	switch {
+	case devices > 1:
+		// Fleet cells keep their payload type with or without lifetime;
+		// the merged lifetime stats surface in the cell metrics.
 		res = &FleetReplayResult{
 			Workload: workload, Policy: policy, Shards: shards,
 			Devices: devices, Replicate: spec.Replicate,
 			Report: rep.Summary(), PerDevice: rep.PerDevice,
 		}
-	} else {
+	case lifetimeOn:
+		res = &LifetimeReplayResult{
+			Workload: workload, Policy: policy, Age: ageName, Schedule: schedName,
+			Shards: shards, Report: rep.Summary(), Life: rep.Life,
+		}
+	default:
 		res = &ReplayResult{Workload: workload, Policy: policy, Shards: shards, Report: rep.Summary()}
 	}
 	metrics := map[string]float64{
 		"req/s":   float64(rep.Requests) / wall,
 		"mean-us": rep.MeanReadUS,
 	}
-	if sampler != nil && policy != "synthetic" {
-		metrics["msb-retries"] = sampler.MeanRetries(ctx.Kind().Bits() - 1)
+	if esampler != nil && policy != "synthetic" {
+		metrics["msb-retries"] = esampler.MeanRetries(ctx.Kind().Bits() - 1)
+	}
+	if lifetimeOn {
+		metrics["device-hours"] = rep.Life.DeviceHours
+		metrics["calibrations"] = float64(rep.Life.Calibrations)
 	}
 	if reg != nil {
 		snap := reg.Snapshot().Deterministic()

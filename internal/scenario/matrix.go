@@ -40,12 +40,15 @@ type Axes struct {
 	// Base seeds every cell of the block; its Name (optional) prefixes
 	// the generated names.
 	Base Spec `json:"base,omitempty"`
-	// Experiment, Scale, Kind, Policy and Workload are value axes.
+	// Experiment, Scale, Kind, Policy, Workload, Age and Schedule are
+	// value axes.
 	Experiment []string `json:"experiment,omitempty"`
 	Scale      []string `json:"scale,omitempty"`
 	Kind       []string `json:"kind,omitempty"`
 	Policy     []string `json:"policy,omitempty"`
 	Workload   []string `json:"workload,omitempty"`
+	Age        []string `json:"age,omitempty"`
+	Schedule   []string `json:"schedule,omitempty"`
 	// Shards, Devices and Requests are numeric axes ("s<N>" / "d<N>" /
 	// "r<N>" name parts).
 	Shards   []int `json:"shards,omitempty"`
@@ -176,6 +179,8 @@ func (a *Axes) expand(defaults Spec) ([]Spec, error) {
 		strAxis(a.Kind, func(c *Spec, v string) { c.Kind = v }, ""),
 		strAxis(a.Policy, func(c *Spec, v string) { c.Policy = v }, ""),
 		strAxis(a.Workload, func(c *Spec, v string) { c.Workload = v }, ""),
+		strAxis(a.Age, func(c *Spec, v string) { c.Age = v }, ""),
+		strAxis(a.Schedule, func(c *Spec, v string) { c.Schedule = v }, ""),
 		intAxis(a.Shards, func(c *Spec, v int) { c.Shards = v }, "s"),
 		intAxis(a.Devices, func(c *Spec, v int) { c.Devices = v }, "d"),
 		intAxis(a.Requests, func(c *Spec, v int) { c.Requests = v }, "r"),
@@ -272,6 +277,12 @@ func mergeSpec(c, def Spec) Spec {
 	}
 	if c.Hours == 0 {
 		c.Hours = def.Hours
+	}
+	if c.Age == "" {
+		c.Age = def.Age
+	}
+	if c.Schedule == "" {
+		c.Schedule = def.Schedule
 	}
 	if c.TempC == 0 {
 		c.TempC = def.TempC

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sentinel3d/internal/experiments"
 	"sentinel3d/internal/fault"
 	"sentinel3d/internal/ftl"
 	"sentinel3d/internal/trace"
@@ -85,6 +86,15 @@ type Spec struct {
 	// charlab cells (defaults 5000 P/E, one year).
 	PE    int     `json:"pe,omitempty"`
 	Hours float64 `json:"hours,omitempty"`
+	// Age and Schedule switch a replay cell from frozen stress to
+	// dynamic per-block aging (ssdsim.LifetimeConfig): stress evolves
+	// during the replay, driven by the trace's own timestamps. Age names
+	// the starting lifetime point ("fresh", "mid" or "worn" — the
+	// experiments.AgePresets); Schedule the ambient-temperature schedule
+	// ("room", "hot" or "diurnal"). Setting either enables the lifetime
+	// path; the other defaults to "worn" / "room".
+	Age      string `json:"age,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
 	// TempC is the retention temperature of charlab cells (default 25).
 	TempC float64 `json:"temp_c,omitempty"`
 	// Wordlines and SweepV parameterize charlab cells: how many
@@ -254,6 +264,16 @@ func (s *Spec) Validate() error {
 		"history", "ar2", "sentinel+history":
 	default:
 		return fmt.Errorf("scenario: cell %q: unknown policy %q", s.Name, s.Policy)
+	}
+	if s.Age != "" {
+		if _, ok := experiments.AgeByName(s.Age); !ok {
+			return fmt.Errorf("scenario: cell %q: unknown age %q", s.Name, s.Age)
+		}
+	}
+	if s.Schedule != "" {
+		if _, ok := experiments.ScheduleByName(s.Schedule); !ok {
+			return fmt.Errorf("scenario: cell %q: unknown schedule %q", s.Name, s.Schedule)
+		}
 	}
 	if s.Workload != "" {
 		if _, err := trace.WorkloadByName(s.Workload); err != nil {

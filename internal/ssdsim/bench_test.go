@@ -107,10 +107,28 @@ func BenchmarkReplaySequential(b *testing.B) {
 // benchReplayShards measures the streaming engine end to end (two
 // passes over the generator: precondition + replay) in the default
 // histogram mode, optionally with a full observability registry
-// attached (metrics, slow-read trace) but no scraper.
-func benchReplayShards(b *testing.B, shards int, withMetrics bool) {
+// attached (metrics, slow-read trace) but no scraper, and optionally
+// with dynamic per-block aging enabled.
+func benchReplayShards(b *testing.B, shards int, withMetrics, withLife bool) {
 	cfg := DefaultConfig()
 	cfg.Geo = benchGeometry()
+	var sampler RetrySampler = benchSampler()
+	if withLife {
+		// The 200k-request trace spans ~292 trace-seconds; 30 h/s
+		// time-lapses that into ~1.2 years of device life, climbing the
+		// retention grid, with weekly background calibrations (~50 per
+		// die over the replay).
+		cfg.Life = &LifetimeConfig{
+			BasePE:             2000,
+			BaseRetentionHours: 100,
+			Schedule:           physics.SquareWave(25, 55, 24, 0.5),
+			HoursPerSecond:     30,
+			CalibPeriodHours:   168,
+			CalibUS:            300,
+		}
+		sampler = SyntheticLifetimeSampler(cfg.Bits,
+			[]int{0, 2000, 5000}, []float64{0, 200, 2000, 8760}, 0x5eed)
+	}
 	spec := benchSpec(cfg.Geo)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -122,7 +140,7 @@ func benchReplayShards(b *testing.B, shards int, withMetrics bool) {
 		}
 		eng, err := NewEngine(ReplayConfig{
 			Sim: cfg, Shards: shards, Precondition: true, Metrics: reg,
-		}, benchSampler())
+		}, sampler)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,17 +154,24 @@ func benchReplayShards(b *testing.B, shards int, withMetrics bool) {
 
 // BenchmarkReplayShard1 is the engine's single-shard streaming path —
 // the like-for-like successor of BenchmarkReplaySequential.
-func BenchmarkReplayShard1(b *testing.B) { benchReplayShards(b, 1, false) }
+func BenchmarkReplayShard1(b *testing.B) { benchReplayShards(b, 1, false, false) }
 
 // BenchmarkReplayShard8 shards the 8-channel device fully; with N CPUs
 // the shards replay on min(8, N) workers.
-func BenchmarkReplayShard8(b *testing.B) { benchReplayShards(b, 8, false) }
+func BenchmarkReplayShard8(b *testing.B) { benchReplayShards(b, 8, false, false) }
 
 // BenchmarkReplayShard8Metrics is BenchmarkReplayShard8 with the
 // observability registry enabled but idle (no scraper): its req/s is
 // gated in CI against the uninstrumented baseline to hold the metrics
 // overhead under 1%.
-func BenchmarkReplayShard8Metrics(b *testing.B) { benchReplayShards(b, 8, true) }
+func BenchmarkReplayShard8Metrics(b *testing.B) { benchReplayShards(b, 8, true, false) }
+
+// BenchmarkReplayShard8Lifetime is BenchmarkReplayShard8 with dynamic
+// per-block aging enabled: the retention clock, per-block stress
+// lookups, grid-sampler dispatch and the calibration scheduler all run
+// on the hot path. Its req/s is gated in CI against the frozen-stress
+// baseline to hold the lifetime bookkeeping overhead under 5%.
+func BenchmarkReplayShard8Lifetime(b *testing.B) { benchReplayShards(b, 8, false, true) }
 
 // fleetBenchRequests sizes the fleet benchmark at 5x the single-device
 // replay benches: the fleet path amortizes per-replay construction

@@ -534,6 +534,10 @@ func (d *demux) worker(w int) {
 // runs a block, never any state it sees.
 func (e *Engine) replayPass(sims []*Sim, reps []*Report, src trace.Source, busy []float64) error {
 	defer closeSource(src)
+	// Preconditioning is over: per-block lifetime wear starts counting.
+	for _, sim := range sims {
+		sim.beginReplay()
+	}
 	nTargets := len(sims)
 	d := &demux{
 		sims:    sims,

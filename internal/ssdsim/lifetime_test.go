@@ -1,0 +1,355 @@
+package ssdsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sentinel3d/internal/fault"
+	"sentinel3d/internal/mathx"
+	"sentinel3d/internal/obs"
+	"sentinel3d/internal/parallel"
+	"sentinel3d/internal/physics"
+	"sentinel3d/internal/trace"
+)
+
+// lifeSampler is the shared synthetic grid for lifetime tests: retries
+// grow along both axes, so a replay that ages visibly draws more.
+func lifeSampler() *LifetimeSampler {
+	return SyntheticLifetimeSampler(3,
+		[]int{0, 2000, 5000},
+		[]float64{0, 200, 2000, 8760},
+		0x5eed)
+}
+
+func lifeConfig() *LifetimeConfig {
+	return &LifetimeConfig{
+		BasePE:             2000,
+		BaseRetentionHours: 100,
+		Schedule:           physics.SquareWave(25, 55, 2, 0.5),
+		HoursPerSecond:     3600, // one trace second spans 3600 device-hours
+		CalibPeriodHours:   5,
+		CalibDriftHours:    400,
+		CalibUS:            300,
+	}
+}
+
+// TestLifetimeWorkerDeterminism is the satellite acceptance test: a
+// lifetime-enabled replay — evolving per-block stress, wear from GC,
+// calibration scheduler, metrics on — must produce byte-identical
+// reports and deterministic metric renderings at 1, 4 and 8 workers.
+func TestLifetimeWorkerDeterminism(t *testing.T) {
+	cfg := engineConfig()
+	cfg.Life = lifeConfig()
+	reqs := engineTrace(t, 20000)
+
+	var base *Report
+	var baseProm string
+	for _, w := range []int{1, 4, 8} {
+		reg := obs.NewRegistry(4)
+		eng, err := NewEngine(ReplayConfig{
+			Sim: cfg, Shards: 4, Precondition: true, Metrics: reg,
+		}, lifeSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := parallel.SetWorkers(w)
+		rep, err := eng.Replay(trace.SliceOpener(reqs))
+		parallel.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prom := reg.Snapshot().Deterministic().Render()
+		if base == nil {
+			base, baseProm = rep, prom
+			if !rep.Life.Enabled || rep.Life.DeviceHours <= 0 {
+				t.Fatalf("lifetime state missing from report: %+v", rep.Life)
+			}
+			if rep.Life.Calibrations == 0 {
+				t.Fatal("no calibrations over a multi-period replay")
+			}
+			continue
+		}
+		if !reflect.DeepEqual(rep, base) {
+			t.Fatalf("lifetime report diverged at %d workers:\n got %+v\nwant %+v",
+				w, rep, base)
+		}
+		if prom != baseProm {
+			t.Fatalf("lifetime metric rendering diverged at %d workers", w)
+		}
+	}
+}
+
+// TestLifetimeEngineSingleShardMatchesSimRun: the engine must arm and
+// drive the lifetime state exactly like a plain Sim.Precondition+Run.
+func TestLifetimeEngineSingleShardMatchesSimRun(t *testing.T) {
+	cfg := engineConfig()
+	cfg.Life = lifeConfig()
+	reqs := engineTrace(t, 5000)
+
+	sim, err := New(cfg, lifeSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(ReplayConfig{
+		Sim: cfg, Shards: 1, CollectLatencies: true, Precondition: true,
+	}, lifeSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Replay(trace.SliceOpener(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-shard lifetime engine diverged from Sim.Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLifetimeStressEvolves: with a fast retention clock the device
+// climbs the sampler grid during the trace, so the replay must draw
+// strictly more retries than the same trace crawling through device
+// time — and the frozen path (Life nil) must match the slow clock's
+// grid-origin behaviour rather than silently aging.
+func TestLifetimeStressEvolves(t *testing.T) {
+	reqs := engineTrace(t, 8000)
+	run := func(life *LifetimeConfig) *Report {
+		cfg := engineConfig()
+		cfg.Life = life
+		sim, err := New(cfg, lifeSampler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Precondition(reqs); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sim.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	slow := run(&LifetimeConfig{HoursPerSecond: 1e-6}) // clock barely moves
+	fast := run(&LifetimeConfig{HoursPerSecond: 3.6e6, Schedule: physics.ConstantTemp(55)})
+	if fast.Life.DeviceHours <= slow.Life.DeviceHours {
+		t.Fatalf("fast clock covered %v h, slow %v h", fast.Life.DeviceHours, slow.Life.DeviceHours)
+	}
+	if fast.TotalRetries <= slow.TotalRetries {
+		t.Fatalf("aging did not raise retries: fast %d, slow %d",
+			fast.TotalRetries, slow.TotalRetries)
+	}
+	if fast.MeanReadUS <= slow.MeanReadUS {
+		t.Fatalf("aging did not raise read latency: fast %v, slow %v",
+			fast.MeanReadUS, slow.MeanReadUS)
+	}
+}
+
+// TestCalibrationChargedAsQueueLatency: a read arriving just after a
+// periodic calibration came due must queue behind it for (almost) the
+// full calibration time.
+func TestCalibrationChargedAsQueueLatency(t *testing.T) {
+	const calibUS = 500.0
+	run := func(life *LifetimeConfig) float64 {
+		cfg := engineConfig()
+		cfg.Life = life
+		sim, err := New(cfg, FixedSampler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := []trace.Request{{ArriveUS: 0, Op: trace.Read, LPN: 7, Pages: 1}}
+		if err := sim.Precondition(warm); err != nil {
+			t.Fatal(err)
+		}
+		// At 1 h/s, the 1-hour calibration period elapses at trace
+		// microsecond 1e6; the read arrives 1 µs after that.
+		rep, err := sim.Run([]trace.Request{
+			{ArriveUS: 1e6 + 1, Op: trace.Read, LPN: 7, Pages: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MeanReadUS
+	}
+	base := run(&LifetimeConfig{HoursPerSecond: 1})
+	delayed := run(&LifetimeConfig{
+		HoursPerSecond: 1, CalibPeriodHours: 1, CalibUS: calibUS,
+	})
+	// The calibration started at the due instant (1e6 µs), the read
+	// arrived 1 µs later, so it waits calibUS-1 µs.
+	if want := base + calibUS - 1; math.Abs(delayed-want) > 1e-9 {
+		t.Fatalf("calibration queue charge: delayed read %v µs, want %v (base %v)",
+			delayed, want, base)
+	}
+}
+
+// TestFailedEraseWearVisibleInLifetime is the fault-injected satellite
+// test: erases that fail still wear blocks, and that wear must reach
+// the lifetime state and the report.
+func TestFailedEraseWearVisibleInLifetime(t *testing.T) {
+	cfg := engineConfig()
+	cfg.Life = &LifetimeConfig{HoursPerSecond: 3600}
+	cfg.PEFaults = fault.MustNew(fault.Profile{
+		Seed:             13,
+		FTLEraseFailRate: 0.05,
+	})
+	sim, err := New(cfg, lifeSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a small working set long enough to force GC erases.
+	span := int64(cfg.Geo.PagesTotal() / 8)
+	var reqs []trace.Request
+	for i := 0; i < cfg.Geo.PagesTotal()*2; i++ {
+		reqs = append(reqs, trace.Request{
+			ArriveUS: float64(i) * 10,
+			Op:       trace.Write,
+			LPN:      int64(i*7919) % span,
+			Pages:    1,
+		})
+	}
+	rep, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Life.RunErases == 0 || rep.Life.WornBlocks == 0 {
+		t.Fatalf("no wear recorded over a GC-heavy replay: %+v", rep.Life)
+	}
+	if rep.Life.FailedEraseWear == 0 {
+		t.Fatalf("failed erases invisible to lifetime state: %+v (retired %d)",
+			rep.Life, rep.RetiredBlocks)
+	}
+	if rep.Life.MaxBlockWear == 0 {
+		t.Fatalf("max block wear zero with %d erases", rep.Life.RunErases)
+	}
+}
+
+// TestFrozenReportUnchangedByLifetimeCode: with Life nil the report —
+// including its %v rendering, which the golden digests hash — must not
+// mention lifetime state beyond the zero-value struct, and replay
+// results must be identical to the pre-lifetime path (covered by the
+// frozen golden cells; here we pin the zero value).
+func TestFrozenReportUnchangedByLifetimeCode(t *testing.T) {
+	cfg := engineConfig()
+	sim, err := New(cfg, benchSampler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := engineTrace(t, 2000)
+	if err := sim.Precondition(reqs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Life != (LifetimeStats{}) {
+		t.Fatalf("frozen replay accrued lifetime state: %+v", rep.Life)
+	}
+	sum := rep.Summary()
+	if v := reflect.ValueOf(sum).FieldByName("Life"); v.IsValid() {
+		t.Fatal("LifetimeStats leaked into ReportSummary — golden digests would break")
+	}
+}
+
+// boxedStressSampler hides the concrete *LifetimeSampler so the Sim
+// takes the interface (ssampler) path instead of the devirtualized one.
+type boxedStressSampler struct{ ls *LifetimeSampler }
+
+func (b boxedStressSampler) Sample(pt int, rng *mathx.Rand) RetryOutcome {
+	return b.ls.Sample(pt, rng)
+}
+
+func (b boxedStressSampler) SampleStressed(pt int, st physics.Stress, rng *mathx.Rand) RetryOutcome {
+	return b.ls.SampleStressed(pt, st, rng)
+}
+
+// TestLifetimePoolCacheMatchesDirectLookup: the per-block expiry cache
+// used by the devirtualized sampler path must resolve exactly the pool
+// that gridPool resolves from the block's recomputed stress on every
+// read — pinned by running the same replay through both paths and
+// requiring byte-identical reports (same pools → same RNG draws).
+func TestLifetimePoolCacheMatchesDirectLookup(t *testing.T) {
+	reqs := engineTrace(t, 12000)
+	run := func(sampler RetrySampler) *Report {
+		cfg := engineConfig()
+		cfg.Life = lifeConfig()
+		sim, err := New(cfg, sampler)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Precondition(reqs); err != nil {
+			t.Fatal(err)
+		}
+		sim.beginReplay()
+		rep, err := sim.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cached := run(lifeSampler())
+	direct := run(boxedStressSampler{lifeSampler()})
+	if !reflect.DeepEqual(cached, direct) {
+		t.Fatalf("pool cache diverged from per-read grid lookup:\n got %+v\nwant %+v",
+			cached, direct)
+	}
+	if cached.TotalRetries == 0 {
+		t.Fatal("degenerate comparison: no retries drawn")
+	}
+}
+
+func TestLifetimeSamplerValidate(t *testing.T) {
+	good := lifeSampler()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*LifetimeSampler{
+		{PEs: nil, Hours: []float64{0}},
+		{PEs: []int{0, 0}, Hours: []float64{0}, Pools: make([]*EmpiricalSampler, 2)},
+		{PEs: []int{0}, Hours: []float64{5, 1}, Pools: make([]*EmpiricalSampler, 2)},
+		{PEs: []int{0}, Hours: []float64{0}, Pools: []*EmpiricalSampler{nil}},
+	}
+	for i, ls := range bad {
+		if err := ls.Validate(); err == nil {
+			t.Fatalf("bad grid %d accepted", i)
+		}
+	}
+	// Grid lookup floors and clamps.
+	if p := good.gridPool(physics.Stress{PECycles: -5}); p != good.Pools[0] {
+		t.Fatal("negative PE did not clamp to origin")
+	}
+	if p := good.gridPool(physics.Stress{PECycles: 99999, EffRetentionHours: 1e9}); p != good.Pools[len(good.Pools)-1] {
+		t.Fatal("huge stress did not clamp to the last grid point")
+	}
+	if p := good.gridPool(physics.Stress{PECycles: 2100, EffRetentionHours: 250}); p != good.Pools[1*4+1] {
+		t.Fatal("mid stress did not floor to (2000, 200)")
+	}
+}
+
+func TestLifetimeConfigValidate(t *testing.T) {
+	for _, bad := range []LifetimeConfig{
+		{BasePE: -1},
+		{BaseRetentionHours: -3},
+		{Schedule: physics.TempSchedule{BaseC: -200}},
+		{ActivationEnergyEV: -1},
+		{HoursPerSecond: -2},
+		{CalibPeriodHours: 24}, // scheduled but free
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	if err := (LifetimeConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := lifeConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

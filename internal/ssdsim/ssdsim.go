@@ -204,6 +204,13 @@ type Config struct {
 	// shard of an observability registry. Nil keeps the replay loop
 	// free of instrumentation beyond one branch per request.
 	Obs *obs.Set
+	// Life, when non-nil, enables dynamic per-block aging: stress
+	// evolves during the replay from trace time, FTL erases and the
+	// temperature schedule, and a background calibration scheduler
+	// competes with host reads for die time. Nil replays frozen at the
+	// sampler's measured stress point, exactly as before. The pointed-to
+	// config is read-only and may be shared across engine targets.
+	Life *LifetimeConfig
 }
 
 // DefaultConfig returns a TLC SSD configuration.
@@ -234,6 +241,11 @@ func (c Config) Validate() error {
 	}
 	if c.ProgramUS <= 0 || c.EraseUS <= 0 {
 		return fmt.Errorf("ssdsim: non-positive program/erase time")
+	}
+	if c.Life != nil {
+		if err := c.Life.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -270,6 +282,11 @@ type Report struct {
 	// RetiredBlocks counts blocks the FTL took out of service after
 	// program/erase failures during the run (including preconditioning).
 	RetiredBlocks int64
+	// Life summarizes the dynamic-aging machinery when Config.Life was
+	// set (zero value otherwise). It is deliberately NOT part of
+	// ReportSummary: the frozen replay cells' golden digests pin the
+	// summary's rendering, so lifetime statistics travel beside it.
+	Life LifetimeStats
 	// UnmappedReads counts page-level reads of never-written LPNs,
 	// serviced from the mapping table at LatencyModel.MapLookup cost
 	// without touching flash.
@@ -374,6 +391,7 @@ func (r *Report) merge(o *Report) {
 	r.RetiredBlocks += o.RetiredBlocks
 	r.UnmappedReads += o.UnmappedReads
 	r.ReorderedArrivals += o.ReorderedArrivals
+	r.Life.mergeLife(o.Life)
 }
 
 func (r *Report) finalize() {
@@ -420,6 +438,13 @@ type Sim struct {
 	migProgUS   float64    // GC migration: MSB-page read + program
 	wres        ftl.WriteResult
 	sout        RetryOutcome
+
+	// Lifetime state (nil when Config.Life is nil — the frozen path pays
+	// one nil check per read). lsampler is the devirtualized grid
+	// sampler; ssampler the interface fallback for custom StressSamplers.
+	life     *lifetime
+	lsampler *LifetimeSampler
+	ssampler StressSampler
 }
 
 // checkSampler verifies the sampler exists and matches the config's
@@ -431,6 +456,15 @@ func checkSampler(cfg Config, sampler RetrySampler) error {
 	if es, ok := sampler.(*EmpiricalSampler); ok && es.PageTypes() != cfg.Bits {
 		return fmt.Errorf("ssdsim: sampler covers %d page types, config has %d bits",
 			es.PageTypes(), cfg.Bits)
+	}
+	if ls, ok := sampler.(*LifetimeSampler); ok {
+		if err := ls.Validate(); err != nil {
+			return err
+		}
+		if ls.PageTypes() != cfg.Bits {
+			return fmt.Errorf("ssdsim: lifetime sampler covers %d page types, config has %d bits",
+				ls.PageTypes(), cfg.Bits)
+		}
 	}
 	return nil
 }
@@ -462,6 +496,14 @@ func New(cfg Config, sampler RetrySampler) (*Sim, error) {
 		chanFree: make([]float64, cfg.Geo.Channels),
 	}
 	s.esampler, _ = sampler.(*EmpiricalSampler)
+	if cfg.Life != nil {
+		s.life = newLifetime(cfg)
+		f.Wear = s.life // unarmed until beginReplay: precondition churn is not wear
+		s.lsampler, _ = sampler.(*LifetimeSampler)
+		if s.lsampler == nil {
+			s.ssampler, _ = sampler.(StressSampler)
+		}
+	}
 	planes := cfg.Geo.Planes()
 	s.planeDie = make([]int32, planes)
 	s.planeChan = make([]int32, planes)
@@ -664,6 +706,7 @@ func (s *Sim) preconditionFrom(src trace.Source, maxLPN int64) error {
 // streaming Engine, which bounds memory and parallelizes across shards.
 func (s *Sim) Run(reqs []trace.Request) (*Report, error) {
 	rep := &Report{collect: true}
+	s.beginReplay()
 	if err := s.replay(trace.Sliced(reqs), rep); err != nil {
 		return nil, err
 	}
@@ -752,11 +795,23 @@ func (s *Sim) service(r trace.Request, rep *Report) error {
 	return nil
 }
 
+// beginReplay marks the end of preconditioning: from here on, erase
+// wear counts against the per-block lifetime state. Sim.Run and the
+// engine's replay pass call it; preconditioning happens before it.
+func (s *Sim) beginReplay() {
+	if s.life != nil {
+		s.life.armed = true
+	}
+}
+
 // flushCounters copies the FTL's cumulative counters (which include
 // preconditioning work) into the report.
 func (s *Sim) flushCounters(rep *Report) {
 	rep.GCWrites = s.ftl.GCWrites
 	rep.RetiredBlocks = s.ftl.BadBlocks
+	if s.life != nil {
+		s.life.finish(rep, s.cfg.Obs, s.Makespan())
+	}
 }
 
 // readPage services one page read: sense on the die (repeated per retry),
@@ -774,8 +829,31 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 		return arrive + s.cfg.Lat.MapLookup, nil
 	}
 	pageType := int(s.pageType[ppn.Page])
+	die := s.planeDie[ppn.Plane]
 	var out *RetryOutcome
-	if s.esampler != nil {
+	if s.life != nil {
+		// Dynamic aging: charge any due calibration to the die, then
+		// draw from the pool matching the block's *current* stress.
+		s.beforeOp(die, arrive)
+		switch {
+		case s.lsampler != nil:
+			// Devirtualized grid path: resolve the block's current grid
+			// cell through the per-block expiry cache, skipping the
+			// Stress construction entirely.
+			out = s.life.pool(s.lsampler, ppn.Plane, ppn.Block).sampleRef(pageType, s.rng)
+		case s.ssampler != nil:
+			st := s.life.readStress(ppn.Plane, ppn.Block)
+			s.sout = s.ssampler.SampleStressed(pageType, st, s.rng)
+			out = &s.sout
+		case s.esampler != nil:
+			s.life.readStress(ppn.Plane, ppn.Block) // keep disturb accounting
+			out = s.esampler.sampleRef(pageType, s.rng)
+		default:
+			s.life.readStress(ppn.Plane, ppn.Block)
+			s.sout = s.sampler.Sample(pageType, s.rng)
+			out = &s.sout
+		}
+	} else if s.esampler != nil {
 		out = s.esampler.sampleRef(pageType, s.rng)
 	} else {
 		s.sout = s.sampler.Sample(pageType, s.rng)
@@ -793,7 +871,6 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 	dieTime := attempts*s.senseByType[pageType] + aux*s.auxSenseUS
 	chanTime := attempts*s.xferBurstUS + aux*s.cfg.Lat.Transfer
 
-	die := s.planeDie[ppn.Plane]
 	ch := s.planeChan[ppn.Plane]
 	senseStart := maxf(arrive, s.dieFree[die])
 	senseEnd := senseStart + dieTime
@@ -813,11 +890,19 @@ func (s *Sim) readPage(arrive float64, lpn int64, rep *Report) (float64, error) 
 // the die; GC work (migrations, erases) occupies the die.
 func (s *Sim) writePage(arrive float64, lpn int64) (float64, error) {
 	res := &s.wres
+	if s.life != nil {
+		// Advance the retention clock before the FTL write so any GC
+		// erase it triggers stamps the block with the current device time.
+		s.life.tickUS(arrive)
+	}
 	if err := s.ftl.WriteInto(lpn, res); err != nil {
 		return 0, err
 	}
 	die := s.planeDie[res.Target.Plane]
 	ch := s.planeChan[res.Target.Plane]
+	if l := s.life; l != nil && l.calibOn {
+		s.chargeCalib(die, arrive) // programs queue behind due calibrations too
+	}
 
 	xferStart := maxf(arrive, s.chanFree[ch])
 	xferEnd := xferStart + s.cfg.Lat.Transfer
